@@ -1,0 +1,86 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the scaled-down synthetic datasets. Its output is
+// the raw material of EXPERIMENTS.md.
+//
+//	experiments                    # run everything at default scale
+//	experiments -only t1,t3,f12    # run a subset
+//	experiments -scale 0.25        # quicker, smaller datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gminer/internal/exp"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		only    = flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,t5,f56,f7,f8,f9,f10,f11,f12,f13")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-engine-run timeout ('-' cells)")
+		budget  = flag.Int64("budget", 512<<20, "baseline memory budget in bytes ('x' cells)")
+		workers = flag.Int("workers", 4, "workers for comparative tables")
+		threads = flag.Int("threads", 2, "threads per worker")
+	)
+	flag.Parse()
+
+	o := exp.Options{
+		Scale:     *scale,
+		Out:       os.Stdout,
+		Timeout:   *timeout,
+		MemBudget: *budget,
+		Workers:   *workers,
+		Threads:   *threads,
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+
+	type experiment struct {
+		key  string
+		name string
+		fn   func(exp.Options) error
+	}
+	experiments := []experiment{
+		{"t1", "Table 1", func(o exp.Options) error { _, err := exp.Table1(o); return err }},
+		{"t2", "Table 2", func(o exp.Options) error { _, err := exp.Table2(o); return err }},
+		{"t3", "Table 3", func(o exp.Options) error { _, err := exp.Table3(o); return err }},
+		{"t4", "Table 4", func(o exp.Options) error { _, err := exp.Table4(o); return err }},
+		{"t5", "Table 5", func(o exp.Options) error { _, err := exp.Table5(o); return err }},
+		{"f56", "Figures 5-6", func(o exp.Options) error { _, err := exp.Figure56(o); return err }},
+		{"f7", "Figure 7", func(o exp.Options) error { _, err := exp.Figure7(o); return err }},
+		{"f8", "Figure 8", func(o exp.Options) error { _, err := exp.Figure8(o); return err }},
+		{"f9", "Figure 9", func(o exp.Options) error { _, err := exp.Figure9(o); return err }},
+		{"f10", "Figure 10", func(o exp.Options) error { _, err := exp.Figure10(o); return err }},
+		{"f11", "Figure 11", func(o exp.Options) error { _, err := exp.Figure11(o); return err }},
+		{"f12", "Figure 12", func(o exp.Options) error { _, err := exp.Figure12(o); return err }},
+		{"f13", "Figure 13", func(o exp.Options) error { _, err := exp.Figure13(o); return err }},
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		if !run(e.key) {
+			continue
+		}
+		fmt.Printf("\n==== %s (%s) ====\n", e.name, e.key)
+		start := time.Now()
+		if err := e.fn(o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("(%s took %.1fs)\n", e.name, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,257 @@
+// Command gminer runs one graph mining application on the G-Miner runtime.
+//
+// Examples:
+//
+//	gminer -preset orkut-s -app tc
+//	gminer -graph my.graph -app mcf -workers 8 -threads 4
+//	gminer -preset skitter-s -app gm -labels 7
+//	gminer -preset dblp-s -app cd -minsim 0.6 -minsize 4 -emit
+//
+// The input is either a text adjacency-list file (-graph) or a generated
+// preset (-preset, optionally scaled with -scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gminer"
+	"gminer/internal/algo"
+	"gminer/internal/core"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/monitor"
+	"gminer/internal/partition"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file")
+		format    = flag.String("format", "adj", "graph file format: adj (adjacency list) or edges (SNAP edge list)")
+		preset    = flag.String("preset", "", "generated dataset preset (skitter-s, orkut-s, btc-s, friendster-s, tencent-s, dblp-s)")
+		scale     = flag.Float64("scale", 1.0, "preset scale factor")
+		app       = flag.String("app", "tc", "application: tc, mcf, gm, cd, gc, gl3, qc, fsm")
+
+		workers = flag.Int("workers", 4, "number of workers")
+		threads = flag.Int("threads", 4, "computing threads per worker")
+		part    = flag.String("partitioner", "bdg", "partitioner: bdg, hash, skewed")
+		lsh     = flag.Bool("lsh", true, "enable the LSH task priority queue")
+		steal   = flag.Bool("steal", true, "enable task stealing")
+		useTCP  = flag.Bool("tcp", false, "run over loopback TCP instead of the in-process network")
+
+		latency   = flag.Duration("latency", 0, "simulated network latency")
+		bandwidth = flag.Int64("bandwidth", 0, "simulated network bandwidth (bytes/s, 0=unlimited)")
+		spillDir  = flag.String("spill", "", "task-store spill directory (default: in-memory)")
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint interval (0=off)")
+		cacheCap  = flag.Int("cache", 8192, "RCV cache capacity (vertices)")
+		storeCap  = flag.Int("store-mem", 8192, "in-memory task store capacity (tasks)")
+
+		labels  = flag.Int("labels", 7, "for gm on unlabeled inputs: assign labels from this alphabet")
+		pattern = flag.String("pattern", "", "gm pattern as 'labels;parents', e.g. '0,1,2,1,3;-1,0,0,2,2' (default: Figure 1 pattern)")
+		minSim  = flag.Float64("minsim", 0.6, "cd/gc attribute similarity threshold")
+		minSize = flag.Int("minsize", 4, "cd/gc minimum community/cluster size")
+		split   = flag.Int("split", 0, "mcf: recursive task split threshold (0=off)")
+
+		emit     = flag.Bool("emit", false, "print result records")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration (0=none)")
+		httpAddr = flag.String("http", "", "serve live job status over HTTP on this address (e.g. 127.0.0.1:8080)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *format, *preset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	a, err := buildAlgorithm(g, *app, *labels, *pattern, *minSim, *minSize, *split)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := gminer.Config{
+		Workers:          *workers,
+		Threads:          *threads,
+		CacheCapacity:    *cacheCap,
+		StoreMemCapacity: *storeCap,
+		UseLSH:           *lsh,
+		Stealing:         *steal,
+		UseTCP:           *useTCP,
+		Latency:          *latency,
+		BandwidthBps:     *bandwidth,
+		SpillDir:         *spillDir,
+		CheckpointDir:    *ckptDir,
+		CheckpointEvery:  *ckptEvery,
+	}
+	switch *part {
+	case "bdg":
+		cfg.Partitioner = partition.BDG{}
+	case "hash":
+		cfg.Partitioner = partition.Hash{}
+	case "skewed":
+		cfg.Partitioner = partition.Skewed{Bias: 0.6}
+	default:
+		fatal(fmt.Errorf("unknown partitioner %q", *part))
+	}
+
+	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
+	fmt.Printf("running %s with %d workers x %d threads (%s partitioning, lsh=%v, stealing=%v)\n",
+		a.Name(), cfg.Workers, cfg.Threads, *part, *lsh, *steal)
+
+	job, err := gminer.Start(g, a, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *httpAddr != "" {
+		mon := monitor.New(job)
+		addr, err := mon.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer mon.Stop()
+		fmt.Printf("monitoring:   http://%s/status\n", addr)
+	}
+	if *timeout > 0 {
+		go func() {
+			time.Sleep(*timeout)
+			job.Stop()
+		}()
+	}
+	res, err := job.Wait()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("partitioning: %.3fs (edge cut %.1f%%)\n", res.PartitionTime.Seconds(), 100*res.EdgeCut)
+	fmt.Printf("mining time:  %.3fs\n", res.Elapsed.Seconds())
+	fmt.Printf("cpu util:     %.1f%%\n", 100*res.CPUUtil(cfg))
+	fmt.Printf("tasks done:   %d (stolen %d)\n", res.Total.TasksDone, res.Total.Stolen)
+	fmt.Printf("network:      %d msgs, %d bytes\n", res.Total.NetMsgs, res.Total.NetBytes)
+	fmt.Printf("disk spill:   %d bytes written, %d read\n", res.Total.DiskWrite, res.Total.DiskRead)
+	fmt.Printf("cache:        %.1f%% hit rate\n", 100*res.Total.CacheHitRate())
+	if res.AggGlobal != nil {
+		if pc, ok := res.AggGlobal.(algo.PatternCounts); ok {
+			if fsm, ok2 := a.(*algo.FreqSubgraph); ok2 {
+				freq := fsm.Frequent(pc)
+				fmt.Printf("aggregate:    %d distinct patterns, %d frequent\n", len(pc), len(freq))
+				for _, rec := range freq {
+					fmt.Println("  " + rec)
+				}
+			}
+		} else {
+			fmt.Printf("aggregate:    %v\n", res.AggGlobal)
+		}
+	}
+	fmt.Printf("records:      %d\n", len(res.Records))
+	if *emit {
+		for _, r := range res.Records {
+			fmt.Println(r)
+		}
+	}
+}
+
+func loadGraph(path, format, preset string, scale float64) (*graph.Graph, error) {
+	switch {
+	case path != "":
+		switch format {
+		case "adj":
+			return graph.LoadFile(path)
+		case "edges":
+			return graph.LoadEdgeListFile(path)
+		default:
+			return nil, fmt.Errorf("unknown format %q (want adj or edges)", format)
+		}
+	case preset != "":
+		return gen.Build(gen.Preset(preset), scale)
+	default:
+		return nil, fmt.Errorf("need -graph or -preset")
+	}
+}
+
+func datasetName(path, preset string) string {
+	if path != "" {
+		return path
+	}
+	return preset
+}
+
+func buildAlgorithm(g *graph.Graph, app string, labels int, patternSpec string,
+	minSim float64, minSize, split int) (core.Algorithm, error) {
+	switch app {
+	case "tc":
+		return algo.NewTriangleCount(), nil
+	case "mcf":
+		mc := algo.NewMaxClique()
+		mc.SplitThreshold = split
+		return mc, nil
+	case "gm":
+		if !g.Labeled() {
+			gen.AssignLabels(g, int32(labels), 1)
+		}
+		p := algo.FigurePattern()
+		if patternSpec != "" {
+			var err error
+			p, err = parsePattern(patternSpec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return algo.NewGraphMatch(p), nil
+	case "gl3":
+		return algo.NewGraphletCensus(), nil
+	case "qc":
+		return algo.NewQuasiClique(minSim, minSize), nil
+	case "fsm":
+		if !g.Labeled() {
+			gen.AssignLabels(g, int32(labels), 1)
+		}
+		return algo.NewFreqSubgraph(int64(minSize) * 25), nil
+	case "cd":
+		if !g.Attributed() {
+			gen.AssignAttrs(g, 5, 10, 2)
+		}
+		return algo.NewCommunityDetect(minSim, minSize), nil
+	case "gc":
+		if !g.Attributed() {
+			gen.AssignAttrs(g, 5, 10, 2)
+		}
+		exemplar := g.VertexAt(0).Attrs
+		return algo.NewGraphCluster([][]int32{exemplar}, 0.8, 0.3, minSize), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want tc, mcf, gm, cd, gc, gl3, qc, fsm)", app)
+	}
+}
+
+// parsePattern parses "l0,l1,...;p0,p1,...".
+func parsePattern(spec string) (*algo.Pattern, error) {
+	parts := strings.SplitN(spec, ";", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("pattern must be 'labels;parents'")
+	}
+	var labels []int32
+	for _, s := range strings.Split(parts[0], ",") {
+		x, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("pattern label: %w", err)
+		}
+		labels = append(labels, int32(x))
+	}
+	var parents []int
+	for _, s := range strings.Split(parts[1], ",") {
+		x, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("pattern parent: %w", err)
+		}
+		parents = append(parents, x)
+	}
+	return algo.NewPattern(labels, parents)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gminer:", err)
+	os.Exit(1)
+}

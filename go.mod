@@ -1,0 +1,3 @@
+module gminer
+
+go 1.22

@@ -1,0 +1,57 @@
+package algo
+
+import (
+	"testing"
+
+	"gminer/internal/gen"
+)
+
+func BenchmarkRefTriangles(b *testing.B) {
+	g := gen.MustBuild(gen.Orkut, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RefTriangles(g)
+	}
+}
+
+func BenchmarkRefMaxClique(b *testing.B) {
+	g := gen.MustBuild(gen.Orkut, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RefMaxClique(g)
+	}
+}
+
+func BenchmarkRefMatchCountDP(b *testing.B) {
+	g, _ := gen.BuildLabeled(gen.Orkut, 0.25)
+	p := FigurePattern()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RefMatchCount(g, p)
+	}
+}
+
+func BenchmarkSeqRunGM(b *testing.B) {
+	// The task-style sequential execution of GM — the COST baseline.
+	g, _ := gen.BuildLabeled(gen.Orkut, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SeqRun(g, NewGraphMatch(FigurePattern()))
+	}
+}
+
+func BenchmarkSeqRunTC(b *testing.B) {
+	g := gen.MustBuild(gen.Orkut, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SeqRun(g, NewTriangleCount())
+	}
+}
+
+func BenchmarkRefCensus(b *testing.B) {
+	g := gen.MustBuild(gen.Orkut, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RefCensus(g)
+	}
+}

@@ -1,0 +1,284 @@
+package algo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/wire"
+)
+
+func TestRefCensusAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomGraph(seed, 12, 30)
+		got := RefCensus(g)
+		wantTri := bruteTriangles(g)
+		// Brute wedges: ordered center counting.
+		var wedges int64
+		g.ForEach(func(v *graph.Vertex) bool {
+			d := int64(v.Degree())
+			wedges += d * (d - 1) / 2
+			return true
+		})
+		if got.Triangles != wantTri || got.OpenWedges != wedges-3*wantTri {
+			t.Fatalf("seed %d: got %+v want tri=%d open=%d", seed, got, wantTri, wedges-3*wantTri)
+		}
+		if got.OpenWedges < 0 {
+			t.Fatalf("negative open wedges: %+v", got)
+		}
+	}
+}
+
+func TestQuasiCliqueGammaOneIsClique(t *testing.T) {
+	// With γ=1 every grown set must be a clique.
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 15, 60)
+		qc := NewQuasiClique(1.0, 3)
+		for _, rec := range RefQuasiCliques(g, qc) {
+			members := parseRecordIDs(t, rec)
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					if !g.Vertex(members[i]).HasNeighbor(members[j]) {
+						t.Fatalf("seed %d: %q is not a clique", seed, rec)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuasiCliqueSatisfiesGamma(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 20, 90)
+		qc := NewQuasiClique(0.6, 4)
+		for _, rec := range RefQuasiCliques(g, qc) {
+			members := parseRecordIDs(t, rec)
+			need := int(math.Ceil(0.6 * float64(len(members)-1)))
+			for _, m := range members {
+				conn := 0
+				for _, o := range members {
+					if o != m && g.Vertex(m).HasNeighbor(o) {
+						conn++
+					}
+				}
+				if conn < need {
+					t.Fatalf("seed %d: member %d has %d < %d internal edges in %q",
+						seed, m, conn, need, rec)
+				}
+			}
+		}
+	}
+}
+
+func TestQuasiCliqueFindsPlantedClique(t *testing.T) {
+	// A planted K6 must be discovered at γ=0.8.
+	g := graph.New(20)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	for i := 6; i < 18; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID(i-6))
+	}
+	g.Freeze()
+	out := RefQuasiCliques(g, NewQuasiClique(0.8, 5))
+	found := false
+	for _, rec := range out {
+		if strings.Contains(rec, "0 1 2 3 4 5") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted K6 not found: %v", out)
+	}
+}
+
+func parseRecordIDs(t *testing.T, rec string) []graph.VertexID {
+	t.Helper()
+	colon := strings.Index(rec, ": ")
+	if colon < 0 {
+		t.Fatalf("bad record %q", rec)
+	}
+	var out []graph.VertexID
+	for _, f := range strings.Fields(rec[colon+2:]) {
+		var x int64
+		if _, err := fmtSscan(f, &x); err != nil {
+			t.Fatalf("bad id %q in %q", f, rec)
+		}
+		out = append(out, graph.VertexID(x))
+	}
+	return out
+}
+
+func fmtSscan(s string, x *int64) (int, error) {
+	var v int64
+	neg := false
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errBadInt
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	*x = v
+	return 1, nil
+}
+
+var errBadInt = errString("bad int")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// Property: open wedge counts are never negative and census components
+// are consistent with degree sums for arbitrary graphs.
+func TestQuickCensusInvariants(t *testing.T) {
+	f := func(edges []uint8) bool {
+		g := graph.New(12)
+		for i := 0; i < 12; i++ {
+			g.AddVertex(graph.VertexID(i))
+		}
+		for i := 0; i+1 < len(edges); i += 2 {
+			g.AddEdge(graph.VertexID(edges[i]%12), graph.VertexID(edges[i+1]%12))
+		}
+		g.Freeze()
+		c := RefCensus(g)
+		if c.OpenWedges < 0 || c.Triangles < 0 {
+			return false
+		}
+		var wedges int64
+		g.ForEach(func(v *graph.Vertex) bool {
+			d := int64(v.Degree())
+			wedges += d * (d - 1) / 2
+			return true
+		})
+		return c.OpenWedges+3*c.Triangles == wedges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quasi-clique growth is deterministic (same inputs, same set).
+func TestQuickQuasiCliqueDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 16, 60)
+		qc := NewQuasiClique(0.7, 3)
+		a := RefQuasiCliques(g, qc)
+		b := RefQuasiCliques(g, qc)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensusOnPreset(t *testing.T) {
+	g := gen.MustBuild(gen.Skitter, 0.1)
+	c := RefCensus(g)
+	if c.Triangles == 0 || c.OpenWedges == 0 {
+		t.Fatalf("degenerate census on skitter-s: %+v", c)
+	}
+}
+
+func TestRefFreqSubgraphAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 14, 40)
+		gen.AssignLabels(g, 3, seed)
+		got := RefFreqSubgraph(g)
+		// Brute force: enumerate all center/endpoint-pair triples.
+		want := PatternCounts{}
+		g.ForEach(func(v *graph.Vertex) bool {
+			for i := 0; i < len(v.Adj); i++ {
+				for j := i + 1; j < len(v.Adj); j++ {
+					a, b := g.Vertex(v.Adj[i]), g.Vertex(v.Adj[j])
+					l1, l2 := a.Label, b.Label
+					if l1 > l2 {
+						l1, l2 = l2, l1
+					}
+					want[PatternKey{End1: l1, Center: v.Label, End2: l2}]++
+				}
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d patterns vs %d", seed, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("seed %d: pattern %v: %d vs %d", seed, k, got[k], c)
+			}
+		}
+	}
+}
+
+func TestFreqSubgraphTotalIsWedgeCount(t *testing.T) {
+	// Σ pattern counts = number of wedges (every wedge has one pattern).
+	g := randomGraph(3, 20, 80)
+	gen.AssignLabels(g, 4, 3)
+	var total int64
+	for _, c := range RefFreqSubgraph(g) {
+		total += c
+	}
+	census := RefCensus(g)
+	if wedges := census.OpenWedges + 3*census.Triangles; total != wedges {
+		t.Fatalf("pattern total %d != wedge count %d", total, wedges)
+	}
+}
+
+func newTestWireWriter() *wire.Writer { return wire.NewWriter(64) }
+
+func newTestWireReader(w *wire.Writer) *wire.Reader { return wire.NewReader(w.Bytes()) }
+
+func TestPatternAggregatorCodec(t *testing.T) {
+	agg := patternAggregator{}
+	pc := PatternCounts{
+		{End1: 1, Center: 2, End2: 3}: 10,
+		{End1: 0, Center: 0, End2: 5}: 7,
+	}
+	w := newTestWireWriter()
+	agg.Encode(w, pc)
+	got := agg.Decode(newTestWireReader(w)).(PatternCounts)
+	if len(got) != 2 || got[PatternKey{1, 2, 3}] != 10 || got[PatternKey{0, 0, 5}] != 7 {
+		t.Fatalf("codec: %v", got)
+	}
+	merged := agg.Merge(pc, got).(PatternCounts)
+	if merged[PatternKey{1, 2, 3}] != 20 {
+		t.Fatalf("merge: %v", merged)
+	}
+	// Merge must not alias its inputs.
+	merged[PatternKey{1, 2, 3}] = 999
+	if pc[PatternKey{1, 2, 3}] != 10 {
+		t.Fatal("merge aliased input map")
+	}
+}
+
+func TestFreqSubgraphFrequentFilter(t *testing.T) {
+	fsm := NewFreqSubgraph(5)
+	out := fsm.Frequent(PatternCounts{
+		{End1: 1, Center: 1, End2: 1}: 9,
+		{End1: 0, Center: 1, End2: 2}: 4,
+	})
+	if len(out) != 1 || out[0] != "pattern 1-1-1 support=9" {
+		t.Fatalf("frequent: %v", out)
+	}
+}

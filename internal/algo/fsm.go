@@ -1,0 +1,220 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/wire"
+)
+
+// FreqSubgraph implements a frequent-subgraph-mining workload from the
+// paper's "subgraph mining (e.g., frequent graph mining [43])" category
+// (§4.1): count, over a labeled graph, the occurrences of every
+// 3-vertex labeled path pattern (label(a)–label(b)–label(c), center b),
+// and report the patterns whose support reaches MinSupport. Three-node
+// paths are the unit gSpan-style miners start from; the workload
+// exercises a *keyed* global aggregator (pattern → count), unlike the
+// scalar aggregators of TC/GM/MCF.
+//
+// Canonicalization: a path a–b–c equals c–b–a, so the endpoint labels
+// are ordered; each concrete occurrence is counted once (center vertex
+// owns it, endpoints ordered by ID when labels tie).
+type FreqSubgraph struct {
+	core.NoContext
+	// MinSupport is the minimum occurrence count for a pattern to be
+	// reported.
+	MinSupport int64
+}
+
+// NewFreqSubgraph returns FSM with the given support threshold
+// (default 100).
+func NewFreqSubgraph(minSupport int64) *FreqSubgraph {
+	if minSupport <= 0 {
+		minSupport = 100
+	}
+	return &FreqSubgraph{MinSupport: minSupport}
+}
+
+// Name implements core.Algorithm.
+func (*FreqSubgraph) Name() string { return "fsm" }
+
+// PatternKey identifies a canonical 3-vertex path pattern.
+type PatternKey struct {
+	End1, Center, End2 int32 // End1 <= End2
+}
+
+func (k PatternKey) String() string {
+	return fmt.Sprintf("%d-%d-%d", k.End1, k.Center, k.End2)
+}
+
+// PatternCounts is the aggregator value: canonical pattern → support.
+type PatternCounts map[PatternKey]int64
+
+// patternAggregator merges pattern-count maps.
+type patternAggregator struct{}
+
+// Aggregator implements core.AggregatorProvider.
+func (*FreqSubgraph) Aggregator() core.Aggregator { return patternAggregator{} }
+
+// Zero implements core.Aggregator.
+func (patternAggregator) Zero() any { return PatternCounts{} }
+
+// Add implements core.Aggregator.
+func (patternAggregator) Add(p, v any) any {
+	out := p.(PatternCounts)
+	for k, c := range v.(PatternCounts) {
+		out[k] += c
+	}
+	return out
+}
+
+// Merge implements core.Aggregator. Partials must not be mutated in
+// place across merge rounds (the master re-merges the latest partials
+// each sync), so Merge builds a fresh map.
+func (patternAggregator) Merge(a, b any) any {
+	out := PatternCounts{}
+	for k, c := range a.(PatternCounts) {
+		out[k] += c
+	}
+	for k, c := range b.(PatternCounts) {
+		out[k] += c
+	}
+	return out
+}
+
+// Encode implements core.Aggregator.
+func (patternAggregator) Encode(w *wire.Writer, v any) {
+	pc := v.(PatternCounts)
+	keys := make([]PatternKey, 0, len(pc))
+	for k := range pc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.End1 != b.End1 {
+			return a.End1 < b.End1
+		}
+		if a.Center != b.Center {
+			return a.Center < b.Center
+		}
+		return a.End2 < b.End2
+	})
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Varint(int64(k.End1))
+		w.Varint(int64(k.Center))
+		w.Varint(int64(k.End2))
+		w.Varint(pc[k])
+	}
+}
+
+// Decode implements core.Aggregator.
+func (patternAggregator) Decode(r *wire.Reader) any {
+	n := r.Uvarint()
+	out := make(PatternCounts, n)
+	for i := uint64(0); i < n; i++ {
+		k := PatternKey{
+			End1:   int32(r.Varint()),
+			Center: int32(r.Varint()),
+			End2:   int32(r.Varint()),
+		}
+		out[k] = r.Varint()
+	}
+	return out
+}
+
+// Seed implements core.Algorithm: every vertex with degree >= 2 is the
+// center of some paths; its neighbors are the candidates.
+func (a *FreqSubgraph) Seed(v *graph.Vertex, spawn func(*core.Task)) {
+	if v.Degree() < 2 || v.Label == graph.NoLabel {
+		return
+	}
+	t := &core.Task{Context: v.Label}
+	t.Subgraph.AddVertex(v.ID)
+	t.Cands = append([]graph.VertexID(nil), v.Adj...)
+	spawn(t)
+}
+
+// Update implements core.Algorithm: one pull round delivers the labels
+// of the neighbors; count every unordered endpoint pair.
+func (a *FreqSubgraph) Update(t *core.Task, cands []*graph.Vertex, env core.Env) {
+	center, ok := t.Context.(int32)
+	if !ok {
+		return
+	}
+	local := PatternCounts{}
+	for i := 0; i < len(cands); i++ {
+		if cands[i] == nil || cands[i].Label == graph.NoLabel {
+			continue
+		}
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j] == nil || cands[j].Label == graph.NoLabel {
+				continue
+			}
+			l1, l2 := cands[i].Label, cands[j].Label
+			if l1 > l2 {
+				l1, l2 = l2, l1
+			}
+			local[PatternKey{End1: l1, Center: center, End2: l2}]++
+		}
+	}
+	if len(local) > 0 {
+		env.AggUpdate(local)
+	}
+}
+
+// EncodeContext implements core.ContextCodec (the center label).
+func (*FreqSubgraph) EncodeContext(w *wire.Writer, ctx any) {
+	label, _ := ctx.(int32)
+	w.Varint(int64(label))
+}
+
+// DecodeContext implements core.ContextCodec.
+func (*FreqSubgraph) DecodeContext(r *wire.Reader) any {
+	return int32(r.Varint())
+}
+
+// Frequent filters an aggregate down to the patterns meeting MinSupport,
+// rendered as stable record strings.
+func (a *FreqSubgraph) Frequent(counts PatternCounts) []string {
+	var out []string
+	for k, c := range counts {
+		if c >= a.MinSupport {
+			out = append(out, fmt.Sprintf("pattern %s support=%d", k, c))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RefFreqSubgraph is the sequential oracle: the full pattern-count map.
+func RefFreqSubgraph(g *graph.Graph) PatternCounts {
+	out := PatternCounts{}
+	g.ForEach(func(v *graph.Vertex) bool {
+		if v.Degree() < 2 || v.Label == graph.NoLabel {
+			return true
+		}
+		adj := v.Adj
+		for i := 0; i < len(adj); i++ {
+			vi := g.Vertex(adj[i])
+			if vi == nil || vi.Label == graph.NoLabel {
+				continue
+			}
+			for j := i + 1; j < len(adj); j++ {
+				vj := g.Vertex(adj[j])
+				if vj == nil || vj.Label == graph.NoLabel {
+					continue
+				}
+				l1, l2 := vi.Label, vj.Label
+				if l1 > l2 {
+					l1, l2 = l2, l1
+				}
+				out[PatternKey{End1: l1, Center: v.Label, End2: l2}]++
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,251 @@
+package algo
+
+import (
+	"sort"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/wire"
+)
+
+// GraphMatch implements GM (§8.1, Listing 2): count all occurrences
+// (homomorphisms) of a rooted labeled tree pattern in the data graph,
+// matched level by level exactly as in the paper's Figure 1 example. Each
+// vertex whose label matches the pattern root seeds a task; round r pulls
+// the frontier vertices matched at level r-1's neighborhoods and matches
+// level r by label and adjacency; after the deepest level, the matched
+// count is computed bottom-up and folded into a global sum aggregator.
+//
+// Matching is homomorphic (two pattern nodes may map to one data vertex),
+// the standard semantics for label-tree matching; the sequential oracle
+// RefMatchCount uses the same semantics.
+type GraphMatch struct {
+	P *Pattern
+}
+
+// NewGraphMatch returns GM for the given pattern (nil: Figure 1 pattern).
+func NewGraphMatch(p *Pattern) *GraphMatch {
+	if p == nil {
+		p = FigurePattern()
+	}
+	return &GraphMatch{P: p}
+}
+
+// Name implements core.Algorithm.
+func (*GraphMatch) Name() string { return "gm" }
+
+// Aggregator implements core.AggregatorProvider: the global count of
+// matched patterns (the paper's sum aggregation over context.count).
+func (*GraphMatch) Aggregator() core.Aggregator { return core.SumInt64Aggregator{} }
+
+// gmContext is the task context: per pattern node, the matched data
+// vertices, and per (pattern node, matched parent vertex), the matched
+// child vertices — the "topology of the intermediate subgraph".
+type gmContext struct {
+	// matched[p] = sorted data vertices matched to pattern node p.
+	matched map[int][]graph.VertexID
+	// edges[p][v] = data vertices matched to p whose pattern parent
+	// matched v (adjacency realized in the data graph).
+	edges map[int]map[graph.VertexID][]graph.VertexID
+}
+
+func newGMContext() *gmContext {
+	return &gmContext{
+		matched: make(map[int][]graph.VertexID),
+		edges:   make(map[int]map[graph.VertexID][]graph.VertexID),
+	}
+}
+
+// Seed implements core.Algorithm.
+func (a *GraphMatch) Seed(v *graph.Vertex, spawn func(*core.Task)) {
+	if v.Label != a.P.Labels[0] {
+		return
+	}
+	ctx := newGMContext()
+	ctx.matched[0] = []graph.VertexID{v.ID}
+	t := &core.Task{Context: ctx}
+	t.Subgraph.AddVertex(v.ID)
+	if a.P.Depth() == 0 {
+		// Single-node pattern: count 1 per matching vertex at update time.
+		spawn(t)
+		return
+	}
+	t.Cands = append([]graph.VertexID(nil), v.Adj...)
+	spawn(t)
+}
+
+// Update implements core.Algorithm: match pattern level t.Round against
+// the pulled candidate objects.
+func (a *GraphMatch) Update(t *core.Task, cands []*graph.Vertex, env core.Env) {
+	ctx, ok := t.Context.(*gmContext)
+	if !ok {
+		return
+	}
+	if a.P.Depth() == 0 {
+		env.AggUpdate(int64(1))
+		return
+	}
+	level := t.Round // rounds start at 1 = pattern depth 1
+	if level > a.P.Depth() {
+		return
+	}
+	// Match every pattern node at this level: label match + adjacency to
+	// a matched parent vertex.
+	for _, p := range a.P.Levels()[level] {
+		q := a.P.Parent[p]
+		parents := ctx.matched[q]
+		for i, obj := range cands {
+			if obj == nil || obj.Label != a.P.Labels[p] {
+				continue
+			}
+			w := t.Cands[i]
+			for _, pv := range parents {
+				if obj.HasNeighbor(pv) {
+					if ctx.edges[p] == nil {
+						ctx.edges[p] = make(map[graph.VertexID][]graph.VertexID)
+					}
+					// ctx.edges IS the task's intermediate-subgraph
+					// topology (§4.2); mirroring it into t.Subgraph would
+					// double the bookkeeping on the hottest path.
+					ctx.edges[p][pv] = append(ctx.edges[p][pv], w)
+					ctx.matched[p] = appendUnique(ctx.matched[p], w)
+				}
+			}
+		}
+		if len(ctx.matched[p]) == 0 {
+			return // no match is possible; die with count 0
+		}
+	}
+	if level == a.P.Depth() {
+		count := a.countMatches(ctx)
+		if count > 0 {
+			env.AggUpdate(count)
+		}
+		return
+	}
+	// Next round: pull the distinct neighbors of this level's matches
+	// (the filter step of §4.2 excludes already-known non-frontier IDs).
+	next := make(map[graph.VertexID]struct{})
+	for _, p := range a.P.Levels()[level] {
+		for i, w := range t.Cands {
+			if cands[i] == nil || !containsSorted(ctx.matched[p], w) {
+				continue
+			}
+			for _, nb := range cands[i].Adj {
+				next[nb] = struct{}{}
+			}
+		}
+	}
+	if len(next) == 0 {
+		return
+	}
+	ids := make([]graph.VertexID, 0, len(next))
+	for id := range next {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	t.Pull(ids...)
+}
+
+// countMatches runs the bottom-up dynamic program over the recorded
+// edges: h(p, v) = ∏_{c ∈ children(p)} Σ_{w ∈ edges[c][v]} h(c, w).
+func (a *GraphMatch) countMatches(ctx *gmContext) int64 {
+	memo := make(map[[2]int64]int64)
+	var h func(p int, v graph.VertexID) int64
+	h = func(p int, v graph.VertexID) int64 {
+		key := [2]int64{int64(p), int64(v)}
+		if c, ok := memo[key]; ok {
+			return c
+		}
+		var out int64 = 1
+		for _, c := range a.P.Children(p) {
+			var sum int64
+			for _, w := range ctx.edges[c][v] {
+				sum += h(c, w)
+			}
+			out *= sum
+			if out == 0 {
+				break
+			}
+		}
+		memo[key] = out
+		return out
+	}
+	var total int64
+	for _, v := range ctx.matched[0] {
+		total += h(0, v)
+	}
+	return total
+}
+
+func appendUnique(ids []graph.VertexID, x graph.VertexID) []graph.VertexID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= x })
+	if i < len(ids) && ids[i] == x {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = x
+	return ids
+}
+
+// EncodeContext implements core.ContextCodec.
+func (*GraphMatch) EncodeContext(w *wire.Writer, ctxAny any) {
+	ctx, ok := ctxAny.(*gmContext)
+	if !ok {
+		w.Uvarint(0)
+		w.Uvarint(0)
+		return
+	}
+	w.Uvarint(uint64(len(ctx.matched)))
+	for _, p := range sortedKeys(ctx.matched) {
+		w.Int(p)
+		wire.EncodeIDs(w, ctx.matched[p])
+	}
+	w.Uvarint(uint64(len(ctx.edges)))
+	for _, p := range sortedKeys(ctx.edges) {
+		w.Int(p)
+		m := ctx.edges[p]
+		w.Uvarint(uint64(len(m)))
+		vs := make([]graph.VertexID, 0, len(m))
+		for v := range m {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		for _, v := range vs {
+			w.Varint(int64(v))
+			wire.EncodeIDs(w, m[v])
+		}
+	}
+}
+
+// DecodeContext implements core.ContextCodec.
+func (*GraphMatch) DecodeContext(r *wire.Reader) any {
+	ctx := newGMContext()
+	nm := r.Uvarint()
+	for i := uint64(0); i < nm; i++ {
+		p := r.Int()
+		ctx.matched[p] = wire.DecodeIDs(r)
+	}
+	ne := r.Uvarint()
+	for i := uint64(0); i < ne; i++ {
+		p := r.Int()
+		cnt := r.Uvarint()
+		m := make(map[graph.VertexID][]graph.VertexID, cnt)
+		for j := uint64(0); j < cnt; j++ {
+			v := graph.VertexID(r.Varint())
+			m[v] = wire.DecodeIDs(r)
+		}
+		ctx.edges[p] = m
+	}
+	return ctx
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,90 @@
+package algo
+
+import (
+	"sort"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+)
+
+// SeqRun executes an Algorithm sequentially over the whole graph with
+// direct memory access — no partitions, no pulls, no queues. This is the
+// "optimized single-threaded implementation" baseline of Table 1 and the
+// COST comparison (Figure 7) for algorithms whose reference oracle uses a
+// different algorithmic strategy (e.g. GM's bottom-up dynamic program):
+// COST must compare the system against a single-threaded version of the
+// *same* computation, or it measures the algorithm, not the system.
+type SeqResult struct {
+	Records   []string
+	AggGlobal any
+	Tasks     int64
+}
+
+// SeqRun runs algoImpl to completion over g.
+func SeqRun(g *graph.Graph, algoImpl core.Algorithm) *SeqResult {
+	env := &seqEnv{g: g}
+	if ap, ok := algoImpl.(core.AggregatorProvider); ok {
+		env.agg = ap.Aggregator()
+		env.partial = env.agg.Zero()
+	}
+	var queue []*core.Task
+	spawn := func(t *core.Task) { queue = append(queue, t) }
+	g.ForEach(func(v *graph.Vertex) bool {
+		algoImpl.Seed(v, spawn)
+		return true
+	})
+	var done int64
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for {
+			if t.Round == 0 {
+				t.Round = 1
+			}
+			cands := make([]*graph.Vertex, len(t.Cands))
+			for i, id := range t.Cands {
+				cands[i] = g.Vertex(id)
+			}
+			algoImpl.Update(t, cands, env)
+			next, children := t.TakeTransition()
+			queue = append(queue, children...)
+			if next == nil {
+				done++
+				break
+			}
+			t.Advance(next)
+		}
+	}
+	sort.Strings(env.records)
+	return &SeqResult{Records: env.records, AggGlobal: env.partial, Tasks: done}
+}
+
+// seqEnv is the trivial single-threaded core.Env.
+type seqEnv struct {
+	g       *graph.Graph
+	agg     core.Aggregator
+	partial any
+	records []string
+}
+
+// WorkerID implements core.Env.
+func (*seqEnv) WorkerID() int { return 0 }
+
+// NumWorkers implements core.Env.
+func (*seqEnv) NumWorkers() int { return 1 }
+
+// Emit implements core.Env.
+func (e *seqEnv) Emit(record string) { e.records = append(e.records, record) }
+
+// AggUpdate implements core.Env.
+func (e *seqEnv) AggUpdate(v any) {
+	if e.agg != nil {
+		e.partial = e.agg.Add(e.partial, v)
+	}
+}
+
+// AggGlobal implements core.Env.
+func (e *seqEnv) AggGlobal() any { return e.partial }
+
+// LocalVertex implements core.Env.
+func (e *seqEnv) LocalVertex(id graph.VertexID) *graph.Vertex { return e.g.Vertex(id) }

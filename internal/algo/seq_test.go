@@ -1,0 +1,65 @@
+package algo
+
+import (
+	"testing"
+
+	"gminer/internal/gen"
+)
+
+func TestSeqRunTCMatchesReference(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 2500, Seed: 201})
+	res := SeqRun(g, NewTriangleCount())
+	if got, want := res.AggGlobal.(int64), RefTriangles(g); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+	if res.Tasks == 0 {
+		t.Fatal("no tasks executed")
+	}
+}
+
+func TestSeqRunGMMatchesReference(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 1500, Seed: 203})
+	gen.AssignLabels(g, 5, 3)
+	p := FigurePattern()
+	res := SeqRun(g, NewGraphMatch(p))
+	if got, want := res.AggGlobal.(int64), RefMatchCount(g, p); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestSeqRunMCFMatchesReference(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 2200, Seed: 205})
+	res := SeqRun(g, NewMaxClique())
+	if got, want := res.AggGlobal.(int), RefMaxClique(g); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestSeqRunMultiRoundAlgorithm(t *testing.T) {
+	// GC is multi-round and spawns pulls every round; the sequential
+	// driver must run rounds to convergence.
+	g, _ := gen.Community(gen.CommunityConfig{
+		Communities: 10, MinSize: 6, MaxSize: 9, PIn: 0.8, Bridges: 60, Seed: 207,
+	})
+	gc := NewGraphCluster([][]int32{g.VertexAt(0).Attrs}, 0.8, 0.3, 3)
+	res := SeqRun(g, gc)
+	want := RefClusters(g, gc)
+	if len(res.Records) != len(want) {
+		t.Fatalf("got %d records want %d", len(res.Records), len(want))
+	}
+	for i := range want {
+		if res.Records[i] != want[i] {
+			t.Fatalf("record %d: %q vs %q", i, res.Records[i], want[i])
+		}
+	}
+}
+
+func TestSeqRunSpawnedChildren(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 2200, Seed: 209})
+	mc := NewMaxClique()
+	mc.SplitThreshold = 8
+	res := SeqRun(g, mc)
+	if got, want := res.AggGlobal.(int), RefMaxClique(g); got != want {
+		t.Fatalf("split seq: got %d want %d", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package algo
+
+import (
+	"gminer/internal/core"
+	"gminer/internal/graph"
+)
+
+// TriangleCount implements TC (§8.1): a light workload using only 1-hop
+// neighborhoods. Each vertex v seeds one task whose candidates are the
+// neighbors u > v; one update round intersects each candidate's adjacency
+// with the candidate set to count triangles {v, u, w} with v < u < w
+// exactly once. The global count accumulates through a sum aggregator.
+type TriangleCount struct {
+	core.NoContext
+}
+
+// NewTriangleCount returns the TC application.
+func NewTriangleCount() *TriangleCount { return &TriangleCount{} }
+
+// Name implements core.Algorithm.
+func (*TriangleCount) Name() string { return "tc" }
+
+// Aggregator implements core.AggregatorProvider.
+func (*TriangleCount) Aggregator() core.Aggregator { return core.SumInt64Aggregator{} }
+
+// Seed implements core.Algorithm: one task per vertex with at least two
+// higher neighbors.
+func (*TriangleCount) Seed(v *graph.Vertex, spawn func(*core.Task)) {
+	var cands []graph.VertexID
+	for _, u := range v.Adj {
+		if u > v.ID {
+			cands = append(cands, u)
+		}
+	}
+	if len(cands) < 2 {
+		return
+	}
+	t := &core.Task{}
+	t.Subgraph.AddVertex(v.ID)
+	t.Cands = cands
+	spawn(t)
+}
+
+// Update implements core.Algorithm: count pairs (u, w) of candidates with
+// u < w and w ∈ Γ(u). t.Cands is sorted ascending (a suffix of the seed's
+// sorted adjacency), so the candidate set doubles as the Γ(v) filter.
+func (*TriangleCount) Update(t *core.Task, cands []*graph.Vertex, env core.Env) {
+	var count int64
+	set := t.Cands
+	for i, u := range cands {
+		if u == nil {
+			continue
+		}
+		uid := t.Cands[i]
+		// w must be a candidate (w ∈ Γ(v)), a neighbor of u, and > u.
+		for _, w := range u.Adj {
+			if w <= uid {
+				continue
+			}
+			if containsSorted(set, w) {
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		env.AggUpdate(count)
+	}
+	// No Pull: the task dies after one round.
+}
+
+// containsSorted reports whether sorted ids contains x.
+func containsSorted(ids []graph.VertexID, x graph.VertexID) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ids[mid] < x:
+			lo = mid + 1
+		case ids[mid] > x:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}

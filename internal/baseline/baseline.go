@@ -1,0 +1,118 @@
+// Package baseline reimplements the systems the paper compares G-Miner
+// against (§2, §3, §8.2), each preserving exactly the design property the
+// paper identifies as its bottleneck:
+//
+//   - Single: the optimized single-threaded implementation (Table 1,
+//     Figure 7's COST baseline) — just the sequential reference algorithms.
+//   - BSP: a Giraph-like vertex-centric engine with bulk-synchronous
+//     supersteps; graph mining on it must materialize 1-hop neighborhood
+//     subgraphs up front, which exhausts the memory budget (Table 1's
+//     OOM row). A Dataflow flag adds the per-superstep materialization
+//     overhead of dataflow engines (the GraphX row).
+//   - Embed: an Arabesque-like embedding-exploration engine that expands
+//     all embeddings one level per round and filters only afterwards,
+//     wasting memory and compute on invalid candidates.
+//   - Batch: a G-thinker-like subgraph-centric engine executing the SAME
+//     core.Algorithm implementations as G-Miner, but in alternating
+//     whole-batch compute and communicate phases with an LRU (not
+//     reference-counting) cache and no LSH ordering — so CPU idles during
+//     pulls and vice versa (Figure 5), and there is no disk spilling, no
+//     task stealing.
+//
+// Every engine charges its dominant allocations against a memctl.Budget
+// and counts simulated network bytes, so Table 1/3/4 rows are comparable
+// with the G-Miner runtime's metrics.
+package baseline
+
+import (
+	"errors"
+	"time"
+
+	"gminer/internal/memctl"
+	"gminer/internal/metrics"
+)
+
+// ErrTimeout marks a run that exceeded its deadline (the paper's ">24h"
+// table entries).
+var ErrTimeout = errors.New("baseline: run exceeded deadline")
+
+// ErrOOM re-exports the budget error for callers.
+var ErrOOM = memctl.ErrOOM
+
+// Config controls a baseline engine run.
+type Config struct {
+	// Workers is the simulated node count; Threads the compute threads
+	// per worker.
+	Workers int
+	Threads int
+	// MemBudget bounds the engine's charged allocations; 0 = unlimited.
+	MemBudget int64
+	// Latency and BandwidthBps shape the simulated communication phases.
+	Latency      time.Duration
+	BandwidthBps int64
+	// Timeout aborts the run (0 = none).
+	Timeout time.Duration
+	// CacheVertices is the Batch engine's LRU cache capacity per worker.
+	CacheVertices int
+	// Dataflow adds the per-superstep dataset-materialization overhead of
+	// dataflow engines (the GraphX model) to the BSP engine.
+	Dataflow bool
+	// SampleEvery enables utilization timeline sampling (Figure 5) with
+	// the given period; 0 disables.
+	SampleEvery time.Duration
+}
+
+func (c Config) defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.CacheVertices <= 0 {
+		c.CacheVertices = 8192
+	}
+	return c
+}
+
+// Stats reports a run's resource usage in the units the paper's tables
+// use.
+type Stats struct {
+	Elapsed    time.Duration
+	PeakMem    int64
+	NetBytes   int64
+	CPUUtil    float64 // busy fraction of compute threads
+	Timeline   []metrics.TimelinePoint
+	Supersteps int
+}
+
+// deadline tracks a run's timeout.
+type deadline struct {
+	at time.Time
+}
+
+func newDeadline(timeout time.Duration) deadline {
+	if timeout <= 0 {
+		return deadline{}
+	}
+	return deadline{at: time.Now().Add(timeout)}
+}
+
+func (d deadline) exceeded() bool {
+	return !d.at.IsZero() && time.Now().After(d.at)
+}
+
+// commSleep simulates one communication phase moving `bytes` across the
+// network: full latency plus serialization at the configured bandwidth.
+func commSleep(cfg Config, bytes int64) {
+	var dur time.Duration
+	if cfg.Latency > 0 {
+		dur += cfg.Latency
+	}
+	if cfg.BandwidthBps > 0 {
+		dur += time.Duration(bytes * int64(time.Second) / cfg.BandwidthBps)
+	}
+	if dur > 0 {
+		time.Sleep(dur)
+	}
+}

@@ -1,0 +1,208 @@
+package baseline_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gminer/internal/algo"
+	"gminer/internal/baseline"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	return gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 1200, Seed: seed})
+}
+
+func cfg() baseline.Config {
+	return baseline.Config{Workers: 3, Threads: 2}
+}
+
+func TestSingleEngineMatchesReference(t *testing.T) {
+	g := testGraph(3)
+	wantTC := algo.RefTriangles(g)
+	gotTC, _, err := baseline.Single{}.TC(g, cfg())
+	if err != nil || gotTC != wantTC {
+		t.Fatalf("single TC: got %d want %d err %v", gotTC, wantTC, err)
+	}
+	wantMCF := algo.RefMaxClique(g)
+	gotMCF, _, err := baseline.Single{}.MCF(g, cfg())
+	if err != nil || gotMCF != wantMCF {
+		t.Fatalf("single MCF: got %d want %d err %v", gotMCF, wantMCF, err)
+	}
+}
+
+func TestBSPEngineTC(t *testing.T) {
+	g := testGraph(5)
+	want := algo.RefTriangles(g)
+	got, stats, err := baseline.BSP{}.TC(g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("bsp TC: got %d want %d", got, want)
+	}
+	if stats.Supersteps < 2 {
+		t.Fatalf("bsp TC: expected >=2 supersteps, got %d", stats.Supersteps)
+	}
+}
+
+func TestBSPEngineMCF(t *testing.T) {
+	g := testGraph(7)
+	want := algo.RefMaxClique(g)
+	got, _, err := baseline.BSP{}.MCF(g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("bsp MCF: got %d want %d", got, want)
+	}
+}
+
+func TestBSPOOMOnTightBudget(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 9, Edges: 15000, Seed: 9})
+	c := cfg()
+	c.MemBudget = g.FootprintBytes() + 1024 // graph fits, messages do not
+	_, _, err := baseline.BSP{}.MCF(g, c)
+	if !errors.Is(err, baseline.ErrOOM) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestGraphXLikeSlowerThanGiraphLike(t *testing.T) {
+	g := testGraph(11)
+	c := cfg()
+	// Pick the bandwidth so the dataflow engine's per-superstep dataset
+	// materialization costs a deterministic ~5ms of simulated transfer —
+	// far above scheduler noise — and compare best-of-3 runs.
+	c.BandwidthBps = g.FootprintBytes() / 8 * 200 // (footprint/8)/bw = 5ms
+	if c.BandwidthBps < 1 {
+		c.BandwidthBps = 1
+	}
+	min := func(dataflow bool) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			_, s, err := baseline.BSP{Dataflow: dataflow}.TC(g, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Elapsed < best {
+				best = s.Elapsed
+			}
+		}
+		return best
+	}
+	giraph, graphx := min(false), min(true)
+	if graphx <= giraph {
+		t.Fatalf("dataflow overhead missing: graphx %v <= giraph %v", graphx, giraph)
+	}
+}
+
+func TestEmbedEngineTC(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 6, Edges: 400, Seed: 13})
+	want := algo.RefTriangles(g)
+	got, _, err := baseline.Embed{}.TC(g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("embed TC: got %d want %d", got, want)
+	}
+}
+
+func TestEmbedEngineMCF(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 5, Edges: 150, Seed: 17})
+	want := algo.RefMaxClique(g)
+	got, _, err := baseline.Embed{}.MCF(g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("embed MCF: got %d want %d", got, want)
+	}
+}
+
+func TestEmbedOOMOnTightBudget(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 9, Edges: 15000, Seed: 19})
+	c := cfg()
+	c.MemBudget = g.FootprintBytes() + 4096
+	_, _, err := baseline.Embed{}.MCF(g, c)
+	if !errors.Is(err, baseline.ErrOOM) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestEmbedTimeout(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 10, Edges: 60000, Seed: 23})
+	c := cfg()
+	c.Timeout = 10 * time.Millisecond
+	_, _, err := baseline.Embed{}.MCF(g, c)
+	if !errors.Is(err, baseline.ErrTimeout) && !errors.Is(err, baseline.ErrOOM) {
+		t.Fatalf("expected timeout or OOM on huge exploration, got %v", err)
+	}
+}
+
+func TestBatchEngineRunsAllAlgorithms(t *testing.T) {
+	g := testGraph(29)
+	// TC
+	res, _, err := baseline.Batch{}.Run(g, algo.NewTriangleCount(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.AggGlobal.(int64), algo.RefTriangles(g); got != want {
+		t.Fatalf("batch TC: got %d want %d", got, want)
+	}
+	// MCF
+	res, _, err = baseline.Batch{}.Run(g, algo.NewMaxClique(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.AggGlobal.(int), algo.RefMaxClique(g); got != want {
+		t.Fatalf("batch MCF: got %d want %d", got, want)
+	}
+	// GM
+	lg := testGraph(31)
+	gen.AssignLabels(lg, 7, 5)
+	p := algo.FigurePattern()
+	res, _, err = baseline.Batch{}.Run(lg, algo.NewGraphMatch(p), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.AggGlobal.(int64), algo.RefMatchCount(lg, p); got != want {
+		t.Fatalf("batch GM: got %d want %d", got, want)
+	}
+}
+
+func TestBatchEngineCD(t *testing.T) {
+	g, _ := gen.Community(gen.CommunityConfig{
+		Communities: 12, MinSize: 5, MaxSize: 9, PIn: 0.6, Bridges: 100, Seed: 37,
+	})
+	cd := algo.NewCommunityDetect(0.6, 4)
+	want := algo.RefCommunities(g, cd)
+	res, _, err := baseline.Batch{}.Run(g, cd, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(want) {
+		t.Fatalf("batch CD: got %d records want %d", len(res.Records), len(want))
+	}
+	for i := range want {
+		if res.Records[i] != want[i] {
+			t.Fatalf("batch CD record %d: got %q want %q", i, res.Records[i], want[i])
+		}
+	}
+}
+
+func TestBatchEngineSmallCacheStillCorrect(t *testing.T) {
+	g := testGraph(41)
+	c := cfg()
+	c.CacheVertices = 4 // brutal eviction pressure
+	res, _, err := baseline.Batch{}.Run(g, algo.NewTriangleCount(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.AggGlobal.(int64), algo.RefTriangles(g); got != want {
+		t.Fatalf("batch TC small cache: got %d want %d", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"gminer/internal/algo"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+)
+
+// White-box tests for the batch engine's internals.
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(2)
+	v1 := &graph.Vertex{ID: 1}
+	v2 := &graph.Vertex{ID: 2}
+	v3 := &graph.Vertex{ID: 3}
+	c.put(v1)
+	c.put(v2)
+	if _, ok := c.get(1); !ok {
+		t.Fatal("miss on resident entry")
+	}
+	// put is pin-friendly: no eviction until trim.
+	c.put(v3)
+	if len(c.entries) != 3 {
+		t.Fatalf("entries=%d; put should overflow until trim", len(c.entries))
+	}
+	c.trim()
+	if len(c.entries) != 2 {
+		t.Fatalf("trim left %d", len(c.entries))
+	}
+	// 1 was touched most recently before v3's insert; 2 is the LRU victim.
+	if _, ok := c.get(2); ok {
+		t.Fatal("LRU victim survived trim")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestLRUDuplicatePut(t *testing.T) {
+	c := newLRU(4)
+	v := &graph.Vertex{ID: 7, Adj: []graph.VertexID{1}}
+	c.put(v)
+	before := c.bytes
+	c.put(v)
+	if c.bytes != before || len(c.entries) != 1 {
+		t.Fatalf("duplicate put corrupted accounting: bytes=%d entries=%d", c.bytes, len(c.entries))
+	}
+}
+
+func TestBatchRoundsCounted(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 1000, Seed: 61})
+	res, stats, err := Batch{}.Run(g, algo.NewTriangleCount(), Config{Workers: 3, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("expected >=2 compute/communicate rounds, got %d", res.Rounds)
+	}
+	if stats.Supersteps != res.Rounds {
+		t.Fatalf("stats rounds mismatch: %d vs %d", stats.Supersteps, res.Rounds)
+	}
+}
+
+func TestBatchTimelineSampling(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 9, Edges: 12000, Seed: 67})
+	cfg := Config{Workers: 3, Threads: 2, SampleEvery: time.Millisecond,
+		Latency: 2 * time.Millisecond, BandwidthBps: 8 << 20}
+	_, stats, err := Batch{}.Run(g, algo.NewMaxClique(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Timeline) == 0 {
+		t.Fatal("no timeline samples collected")
+	}
+}
+
+func TestBatchTimeout(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 10, Edges: 40000, Seed: 71})
+	cfg := Config{Workers: 2, Threads: 1, Timeout: time.Millisecond}
+	_, _, err := Batch{}.Run(g, algo.NewMaxClique(), cfg)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestBatchAggGlobalVisible(t *testing.T) {
+	// The batch engine syncs aggregator globals at barriers; a worker's
+	// AggGlobal must at least include its own partial immediately.
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 1500, Seed: 73})
+	res, _, err := Batch{}.Run(g, algo.NewMaxClique(), Config{Workers: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.AggGlobal.(int), algo.RefMaxClique(g); got != want {
+		t.Fatalf("agg: got %d want %d", got, want)
+	}
+}

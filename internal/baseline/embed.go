@@ -1,0 +1,279 @@
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gminer/internal/graph"
+	"gminer/internal/memctl"
+	"gminer/internal/metrics"
+)
+
+// Embed is the Arabesque-like embedding-exploration engine (§2): mining
+// proceeds in synchronous rounds; each round expands every embedding by
+// one neighboring vertex, and only *afterwards* a filter prunes invalid
+// candidates — "the pruning step is only executed after the exploration
+// steps, which can generate a large number of candidates and thus waste a
+// substantial amount of computation and memory on invalid embeddings."
+// Candidate embeddings are charged against the memory budget at
+// generation time, before filtering, which is what makes this engine OOM
+// or crawl on workloads G-Miner handles (Tables 1 and 3).
+type Embed struct{}
+
+// Name identifies the engine.
+func (Embed) Name() string { return "arabesque-like" }
+
+// embedding is a candidate subgraph: its vertices in discovery order.
+type embedding []graph.VertexID
+
+func (e embedding) footprint() int64 { return int64(24 + 8*len(e)) }
+
+func (e embedding) contains(x graph.VertexID) bool {
+	for _, v := range e {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// explore runs the generic expand-then-filter loop: start from single
+// vertices accepted by seed, expand each embedding with every neighbor of
+// every member, keep those accepted by filter, for `levels` rounds.
+// Returns the number of surviving embeddings per level.
+func explore(g *graph.Graph, cfg Config, counters *metrics.Counters,
+	seed func(v *graph.Vertex) bool,
+	filter func(emb embedding, next graph.VertexID) bool,
+	levels int,
+	visit func(emb embedding),
+) (Stats, error) {
+	cfg = cfg.defaults()
+	budget := memctl.NewBudget(cfg.MemBudget)
+	dl := newDeadline(cfg.Timeout)
+	start := time.Now()
+	threads := cfg.Workers * cfg.Threads
+
+	if err := budget.Charge(g.FootprintBytes()); err != nil {
+		return statsNow(start, budget, counters, 0), err
+	}
+
+	// Level 1: single-vertex embeddings.
+	var current []embedding
+	g.ForEach(func(v *graph.Vertex) bool {
+		if seed(v) {
+			current = append(current, embedding{v.ID})
+		}
+		return true
+	})
+	var curBytes int64
+	for _, e := range current {
+		curBytes += e.footprint()
+	}
+	if err := budget.Charge(curBytes); err != nil {
+		return statsNow(start, budget, counters, 1), err
+	}
+	for _, e := range current {
+		visit(e)
+	}
+
+	level := 1
+	for level < levels && len(current) > 0 {
+		if dl.exceeded() {
+			return statsNow(start, budget, counters, level), ErrTimeout
+		}
+		// Expansion phase: generate ALL candidates first (no pruning).
+		var mu sync.Mutex
+		var next []embedding
+		var nextBytes atomic.Int64
+		var oomErr error
+		var busy atomic.Int64
+		var aborted atomic.Bool
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				tStart := time.Now()
+				defer func() { busy.Add(int64(time.Since(tStart))) }()
+				var local []embedding
+				var localBytes int64
+				iter := 0
+				for k := t; k < len(current); k += threads {
+					iter++
+					if iter%128 == 0 && (dl.exceeded() ||
+						(budget.Limit() > 0 && budget.Used()+nextBytes.Load() > budget.Limit())) {
+						aborted.Store(true)
+						break
+					}
+					emb := current[k]
+					for _, member := range emb {
+						mv := g.Vertex(member)
+						if mv == nil {
+							continue
+						}
+						for _, w := range mv.Adj {
+							if emb.contains(w) {
+								continue
+							}
+							cand := append(append(embedding{}, emb...), w)
+							local = append(local, cand)
+							localBytes += cand.footprint()
+						}
+					}
+					if localBytes > 1<<20 {
+						// Publish partial charges so the budget check
+						// above sees memory pressure mid-expansion.
+						nextBytes.Add(localBytes)
+						localBytes = 0
+					}
+				}
+				nextBytes.Add(localBytes)
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}(t)
+		}
+		wg.Wait()
+		if counters != nil {
+			counters.AddBusy(time.Duration(busy.Load()))
+		}
+		// Candidates are materialized BEFORE filtering: charge them all.
+		if err := budget.Charge(nextBytes.Load()); err != nil {
+			oomErr = err
+		}
+		if oomErr != nil {
+			return statsNow(start, budget, counters, level), oomErr
+		}
+		if aborted.Load() {
+			budget.Release(nextBytes.Load())
+			if dl.exceeded() {
+				return statsNow(start, budget, counters, level), ErrTimeout
+			}
+			return statsNow(start, budget, counters, level),
+				budget.Charge(budget.Limit()) // force the OOM error
+		}
+
+		// Filter phase (after exploration, as in Arabesque).
+		var kept []embedding
+		var keptBytes int64
+		seen := make(map[string]bool, len(next))
+		for fi, cand := range next {
+			if fi%4096 == 0 && dl.exceeded() {
+				return statsNow(start, budget, counters, level), ErrTimeout
+			}
+			last := cand[len(cand)-1]
+			if !filter(cand[:len(cand)-1], last) {
+				continue
+			}
+			key := canonicalKey(cand)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, cand)
+			keptBytes += cand.footprint()
+			visit(cand)
+		}
+		// Shuffle barrier: Arabesque redistributes embeddings each round.
+		if counters != nil && nextBytes.Load() > 0 {
+			counters.AddNet(nextBytes.Load() / 2)
+		}
+		commSleep(cfg, nextBytes.Load()/2)
+
+		budget.Release(nextBytes.Load())
+		budget.Release(curBytes)
+		if err := budget.Charge(keptBytes); err != nil {
+			return statsNow(start, budget, counters, level), err
+		}
+		current, curBytes = kept, keptBytes
+		level++
+	}
+	return statsNow(start, budget, counters, level), nil
+}
+
+// canonicalKey dedups embeddings that differ only in discovery order.
+func canonicalKey(e embedding) string {
+	ids := append([]graph.VertexID(nil), e...)
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	buf := make([]byte, 0, 10*len(ids))
+	for _, id := range ids {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(id>>s))
+		}
+	}
+	return string(buf)
+}
+
+// TC counts triangles by exploring to 3-vertex embeddings and filtering
+// for mutual adjacency.
+func (Embed) TC(g *graph.Graph, cfg Config) (int64, Stats, error) {
+	counters := &metrics.Counters{}
+	var count atomic.Int64
+	stats, err := explore(g, cfg, counters,
+		func(v *graph.Vertex) bool { return len(v.Adj) >= 2 },
+		func(emb embedding, next graph.VertexID) bool {
+			nv := g.Vertex(next)
+			if nv == nil {
+				return false
+			}
+			for _, m := range emb {
+				if !nv.HasNeighbor(m) {
+					return false
+				}
+			}
+			return true
+		},
+		3,
+		func(emb embedding) {
+			if len(emb) == 3 {
+				count.Add(1)
+			}
+		})
+	stats.CPUUtil = counters.Snapshot().CPUUtil(stats.Elapsed, cfg.defaults().Workers*cfg.defaults().Threads)
+	stats.NetBytes = counters.Snapshot().NetBytes
+	if err != nil {
+		return 0, stats, err
+	}
+	return count.Load(), stats, nil
+}
+
+// MCF grows cliques level by level until none survive; the largest level
+// reached is the maximum clique size.
+func (Embed) MCF(g *graph.Graph, cfg Config) (int, Stats, error) {
+	counters := &metrics.Counters{}
+	var best atomic.Int64
+	stats, err := explore(g, cfg, counters,
+		func(v *graph.Vertex) bool { return true },
+		func(emb embedding, next graph.VertexID) bool {
+			nv := g.Vertex(next)
+			if nv == nil {
+				return false
+			}
+			for _, m := range emb {
+				if !nv.HasNeighbor(m) {
+					return false
+				}
+			}
+			return true
+		},
+		g.NumVertices(), // until no embeddings survive
+		func(emb embedding) {
+			for {
+				cur := best.Load()
+				if int64(len(emb)) <= cur || best.CompareAndSwap(cur, int64(len(emb))) {
+					break
+				}
+			}
+		})
+	stats.CPUUtil = counters.Snapshot().CPUUtil(stats.Elapsed, cfg.defaults().Workers*cfg.defaults().Threads)
+	stats.NetBytes = counters.Snapshot().NetBytes
+	if err != nil {
+		return 0, stats, err
+	}
+	return int(best.Load()), stats, nil
+}

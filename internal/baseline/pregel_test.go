@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+)
+
+// echoProgram floods each vertex's ID one hop per superstep for `hops`
+// supersteps and aggregates the number of deliveries — enough to check
+// the engine's superstep/halt/message semantics precisely.
+type echoProgram struct {
+	hops int
+}
+
+func (p echoProgram) Compute(ctx *ComputeCtx, v *graph.Vertex, state any, msgs []Message) any {
+	ctx.Aggregate(int64(len(msgs)))
+	if ctx.Superstep < p.hops {
+		for _, u := range v.Adj {
+			ctx.Send(Message{To: u, Src: v.ID})
+		}
+	}
+	ctx.VoteHalt()
+	return nil
+}
+
+func TestPregelMessageDelivery(t *testing.T) {
+	// Triangle: each vertex sends to 2 neighbors for 1 hop → 6 deliveries.
+	g := graph.New(3)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	g.Freeze()
+	res, _, err := runPregel(g, echoProgram{hops: 1}, Config{Workers: 2, Threads: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggSum != 6 {
+		t.Fatalf("deliveries=%d want 6", res.AggSum)
+	}
+	if res.Supersteps < 2 {
+		t.Fatalf("supersteps=%d", res.Supersteps)
+	}
+}
+
+func TestPregelHaltTerminates(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 6, Edges: 200, Seed: 1})
+	res, _, err := runPregel(g, echoProgram{hops: 3}, Config{Workers: 2, Threads: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hops supersteps of sends + one final round to drain messages.
+	if res.Supersteps > 5 {
+		t.Fatalf("engine did not quiesce: %d supersteps", res.Supersteps)
+	}
+}
+
+func TestPregelMessageMemoryChargedAndReleased(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 4000, Seed: 2})
+	cfg := Config{Workers: 2, Threads: 2}
+	cfg.MemBudget = g.FootprintBytes() + 512 // no room for message buffers
+	_, _, err := runPregel(g, echoProgram{hops: 1}, cfg, nil)
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected OOM from message buffers, got %v", err)
+	}
+	// With a budget that fits one superstep's messages, release must make
+	// multi-superstep runs succeed.
+	cfg.MemBudget = g.FootprintBytes() + 64*int64(g.NumEdges())*3
+	if _, _, err := runPregel(g, echoProgram{hops: 3}, cfg, nil); err != nil {
+		t.Fatalf("messages not released between supersteps: %v", err)
+	}
+}
+
+func TestPregelCrossWorkerBytesCounted(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 800, Seed: 3})
+	counters := &metrics.Counters{}
+	_, _, err := runPregel(g, echoProgram{hops: 1}, Config{Workers: 4, Threads: 1}, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Snapshot().NetBytes == 0 {
+		t.Fatal("cross-worker messages not counted")
+	}
+}
+
+func TestPregelSingleWorkerNoNetwork(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 800, Seed: 3})
+	counters := &metrics.Counters{}
+	_, _, err := runPregel(g, echoProgram{hops: 1}, Config{Workers: 1, Threads: 2}, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Snapshot().NetBytes != 0 {
+		t.Fatal("single-worker run should have zero cross-worker bytes")
+	}
+}
+
+func TestPregelEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	g.Freeze()
+	res, _, err := runPregel(g, echoProgram{hops: 1}, Config{}, nil)
+	if err != nil || res.AggSum != 0 {
+		t.Fatalf("empty graph: %+v %v", res, err)
+	}
+}
+
+func TestPregelTimeout(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 6, Edges: 300, Seed: 4})
+	cfg := Config{Workers: 1, Threads: 1, Timeout: 1} // 1ns
+	_, _, err := runPregel(g, echoProgram{hops: 1000000}, cfg, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+}

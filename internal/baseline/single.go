@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"time"
+
+	"gminer/internal/algo"
+	"gminer/internal/graph"
+)
+
+// Single is the optimized single-threaded implementation used as the
+// baseline of Table 1 and the COST comparison (Figure 7). It wraps the
+// sequential reference algorithms.
+type Single struct{}
+
+// Name implements the engine naming convention of the harness.
+func (Single) Name() string { return "single-thread" }
+
+// TC counts triangles.
+func (Single) TC(g *graph.Graph, cfg Config) (int64, Stats, error) {
+	start := time.Now()
+	count := algo.RefTriangles(g)
+	return count, Stats{
+		Elapsed: time.Since(start),
+		PeakMem: g.FootprintBytes(),
+		CPUUtil: 1.0,
+	}, nil
+}
+
+// MCF finds the maximum clique size.
+func (Single) MCF(g *graph.Graph, cfg Config) (int, Stats, error) {
+	start := time.Now()
+	best := algo.RefMaxClique(g)
+	return best, Stats{
+		Elapsed: time.Since(start),
+		PeakMem: g.FootprintBytes(),
+		CPUUtil: 1.0,
+	}, nil
+}
+
+// GM counts pattern matches.
+func (Single) GM(g *graph.Graph, p *algo.Pattern, cfg Config) (int64, Stats, error) {
+	start := time.Now()
+	count := algo.RefMatchCount(g, p)
+	return count, Stats{
+		Elapsed: time.Since(start),
+		PeakMem: 2 * g.FootprintBytes(), // graph + DP tables
+		CPUUtil: 1.0,
+	}, nil
+}

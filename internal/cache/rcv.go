@@ -1,0 +1,267 @@
+// Package cache implements the Reference-Counting Vertex (RCV) cache of
+// §4.3/§7: remote vertices pulled by the candidate retriever are cached
+// with a reference count of the ready/active tasks referring to them.
+// Eviction is lazy — a vertex whose count drops to zero moves to the tail
+// of an eviction list but is only replaced when the cache is full, because
+// "even a vertex with r = 0 could be referred again by a subsequent task".
+// If the cache is full and every entry is referenced, the retriever goes
+// to sleep until some task finishes a round and releases its references.
+package cache
+
+import (
+	"sync"
+
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+)
+
+type entry struct {
+	v   *graph.Vertex
+	ref int
+	// position in the zero-ref eviction list; nil while referenced.
+	prev, next *entry
+}
+
+// RCV is the reference-counting vertex cache. Safe for concurrent use.
+type RCV struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	entries  map[graph.VertexID]*entry
+	// zeroHead/zeroTail: intrusive FIFO of zero-ref entries; evict from
+	// head (oldest zero-ref), insert at tail.
+	zeroHead, zeroTail *entry
+	closed             bool
+	counters           *metrics.Counters
+	bytes              int64
+}
+
+// New returns an RCV cache holding up to capacity vertices. counters may
+// be nil.
+func New(capacity int, counters *metrics.Counters) *RCV {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &RCV{
+		capacity: capacity,
+		entries:  make(map[graph.VertexID]*entry, capacity),
+		counters: counters,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Capacity returns the configured capacity.
+func (c *RCV) Capacity() int { return c.capacity }
+
+// Bytes returns the estimated memory footprint of cached vertices.
+func (c *RCV) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len returns the current number of cached vertices.
+func (c *RCV) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Acquire looks up id and, if present, increments its reference count and
+// returns the vertex. Records a cache hit or miss.
+func (c *RCV) Acquire(id graph.VertexID) (*graph.Vertex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		if c.counters != nil {
+			c.counters.CacheMiss()
+		}
+		return nil, false
+	}
+	if c.counters != nil {
+		c.counters.CacheHit()
+	}
+	c.refLocked(e)
+	return e.v, true
+}
+
+func (c *RCV) refLocked(e *entry) {
+	if e.ref == 0 {
+		c.zeroRemove(e)
+	}
+	e.ref++
+}
+
+// Insert adds a pulled vertex with one reference held by the inserting
+// task. If the vertex is already cached (a concurrent pull landed first),
+// the existing entry gains a reference instead. Insert blocks while the
+// cache is full of referenced vertices; it returns false if the cache is
+// closed while waiting.
+func (c *RCV) Insert(v *graph.Vertex) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return false
+		}
+		if e, ok := c.entries[v.ID]; ok {
+			c.refLocked(e)
+			return true
+		}
+		if len(c.entries) < c.capacity {
+			break
+		}
+		// Full: replace the oldest zero-referenced vertex (lazy model).
+		if c.zeroHead != nil {
+			victim := c.zeroHead
+			c.zeroRemove(victim)
+			delete(c.entries, victim.v.ID)
+			c.bytes -= victim.v.FootprintBytes()
+			break
+		}
+		// "if there is no vertex with r = 0 ... go to sleep until some
+		// tasks finish their computation and release the referred
+		// vertices" (§7).
+		c.cond.Wait()
+	}
+	e := &entry{v: v, ref: 1}
+	c.entries[v.ID] = e
+	c.bytes += v.FootprintBytes()
+	return true
+}
+
+// TryInsert is a non-blocking Insert: it returns false when the cache is
+// full of referenced vertices instead of sleeping. Used by the pull
+// response path, which must not block the worker's communication loop.
+func (c *RCV) TryInsert(v *graph.Vertex) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if e, ok := c.entries[v.ID]; ok {
+		c.refLocked(e)
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		if c.zeroHead == nil {
+			return false
+		}
+		victim := c.zeroHead
+		c.zeroRemove(victim)
+		delete(c.entries, victim.v.ID)
+		c.bytes -= victim.v.FootprintBytes()
+	}
+	c.entries[v.ID] = &entry{v: v, ref: 1}
+	c.bytes += v.FootprintBytes()
+	return true
+}
+
+// ForceInsert inserts v even beyond capacity. The runtime uses it as a
+// last resort when a pull response lands while every cached vertex is
+// referenced: blocking there (the paper's sleep) could deadlock the
+// communication loop, so we overflow instead and shed the excess as
+// references drain. Overflow entries are evicted by later TryInserts the
+// same way as ordinary zero-ref entries.
+func (c *RCV) ForceInsert(v *graph.Vertex) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if e, ok := c.entries[v.ID]; ok {
+		c.refLocked(e)
+		return
+	}
+	c.entries[v.ID] = &entry{v: v, ref: 1}
+	c.bytes += v.FootprintBytes()
+}
+
+// Release decrements the reference counts of the given vertices, called
+// when a task referring to them completes a round of computation. IDs not
+// present are ignored (they were local-partition vertices).
+func (c *RCV) Release(ids ...graph.VertexID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	released := false
+	for _, id := range ids {
+		e, ok := c.entries[id]
+		if !ok || e.ref == 0 {
+			continue
+		}
+		e.ref--
+		if e.ref == 0 {
+			c.zeroAppend(e)
+			released = true
+		}
+	}
+	// Shed ForceInsert overflow now that references drained.
+	for len(c.entries) > c.capacity && c.zeroHead != nil {
+		victim := c.zeroHead
+		c.zeroRemove(victim)
+		delete(c.entries, victim.v.ID)
+		c.bytes -= victim.v.FootprintBytes()
+	}
+	if released {
+		c.cond.Broadcast()
+	}
+}
+
+// Peek returns the cached vertex without touching reference counts; used
+// by the executor to resolve a ready task's remote candidates (whose
+// references are already held).
+func (c *RCV) Peek(id graph.VertexID) (*graph.Vertex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.v, true
+}
+
+// Refs returns the current reference count of id (testing/introspection).
+func (c *RCV) Refs(id graph.VertexID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		return e.ref
+	}
+	return -1
+}
+
+// Close unblocks any waiting Insert calls; subsequent Inserts fail.
+func (c *RCV) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+// zeroAppend pushes e at the tail of the zero-ref list.
+func (c *RCV) zeroAppend(e *entry) {
+	e.prev, e.next = c.zeroTail, nil
+	if c.zeroTail != nil {
+		c.zeroTail.next = e
+	} else {
+		c.zeroHead = e
+	}
+	c.zeroTail = e
+}
+
+// zeroRemove unlinks e from the zero-ref list.
+func (c *RCV) zeroRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.zeroHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.zeroTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

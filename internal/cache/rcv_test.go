@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+)
+
+func v(id graph.VertexID) *graph.Vertex {
+	return &graph.Vertex{ID: id, Adj: []graph.VertexID{id + 1}}
+}
+
+func TestAcquireMissThenInsertHit(t *testing.T) {
+	c := New(4, nil)
+	if _, ok := c.Acquire(1); ok {
+		t.Fatal("unexpected hit")
+	}
+	if !c.Insert(v(1)) {
+		t.Fatal("insert failed")
+	}
+	got, ok := c.Acquire(1)
+	if !ok || got.ID != 1 {
+		t.Fatal("expected hit after insert")
+	}
+	if c.Refs(1) != 2 { // insert ref + acquire ref
+		t.Fatalf("refs=%d want 2", c.Refs(1))
+	}
+}
+
+func TestLazyEviction(t *testing.T) {
+	// The paper's Figure 3 scenario: zero-ref vertices stay cached and can
+	// be re-referenced until capacity forces replacement.
+	c := New(2, nil)
+	c.Insert(v(1))
+	c.Insert(v(2))
+	c.Release(1, 2)
+	// Both at ref 0; both still resident.
+	if _, ok := c.Acquire(1); !ok {
+		t.Fatal("zero-ref vertex evicted eagerly")
+	}
+	c.Release(1)
+	// Cache full; inserting 3 must evict the oldest zero-ref (2).
+	c.Insert(v(3))
+	if _, ok := c.Peek(2); ok {
+		t.Fatal("expected 2 to be evicted (oldest zero-ref)")
+	}
+	if _, ok := c.Peek(1); !ok {
+		t.Fatal("1 should survive (re-referenced more recently)")
+	}
+}
+
+func TestReferencedNeverEvicted(t *testing.T) {
+	c := New(2, nil)
+	c.Insert(v(1)) // ref 1
+	c.Insert(v(2)) // ref 1
+	if c.TryInsert(v(3)) {
+		t.Fatal("TryInsert must fail when everything is referenced")
+	}
+	c.Release(1)
+	if !c.TryInsert(v(3)) {
+		t.Fatal("TryInsert should succeed after a release")
+	}
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("1 should have been evicted")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Fatal("2 is referenced and must stay")
+	}
+}
+
+func TestInsertBlocksUntilRelease(t *testing.T) {
+	c := New(1, nil)
+	c.Insert(v(1))
+	done := make(chan bool)
+	go func() {
+		done <- c.Insert(v(2)) // blocks: cache full of referenced vertices
+	}()
+	select {
+	case <-done:
+		t.Fatal("Insert should have blocked")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Release(1)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("insert failed after release")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Insert never unblocked")
+	}
+}
+
+func TestCloseUnblocksInsert(t *testing.T) {
+	c := New(1, nil)
+	c.Insert(v(1))
+	done := make(chan bool)
+	go func() { done <- c.Insert(v(2)) }()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	if ok := <-done; ok {
+		t.Fatal("Insert should fail after Close")
+	}
+}
+
+func TestForceInsertOverflowAndShed(t *testing.T) {
+	c := New(2, nil)
+	c.Insert(v(1))
+	c.Insert(v(2))
+	c.ForceInsert(v(3)) // over capacity
+	if c.Len() != 3 {
+		t.Fatalf("len=%d want 3", c.Len())
+	}
+	c.Release(3) // zero-ref overflow entry sheds immediately
+	if c.Len() != 2 {
+		t.Fatalf("overflow not shed: len=%d", c.Len())
+	}
+}
+
+func TestDuplicateInsertAddsReference(t *testing.T) {
+	c := New(4, nil)
+	c.Insert(v(1))
+	c.Insert(v(1))
+	if c.Refs(1) != 2 {
+		t.Fatalf("refs=%d want 2", c.Refs(1))
+	}
+	c.Release(1)
+	if c.Refs(1) != 1 {
+		t.Fatalf("refs=%d want 1", c.Refs(1))
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	c := New(2, nil)
+	c.Release(99) // must not panic or corrupt
+	c.Insert(v(1))
+	c.Release(1)
+	c.Release(1) // second release of a zero-ref entry is ignored
+	if c.Refs(1) != 0 {
+		t.Fatalf("refs=%d want 0", c.Refs(1))
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	m := &metrics.Counters{}
+	c := New(2, m)
+	c.Acquire(1)
+	c.Insert(v(1))
+	c.Acquire(1)
+	snap := m.Snapshot()
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Fatalf("hits=%d misses=%d", snap.CacheHits, snap.CacheMisses)
+	}
+}
+
+func TestBytesTracking(t *testing.T) {
+	c := New(2, nil)
+	c.Insert(v(1))
+	if c.Bytes() <= 0 {
+		t.Fatal("bytes not tracked")
+	}
+	before := c.Bytes()
+	c.Insert(v(2))
+	c.Release(1, 2)
+	c.TryInsert(v(3)) // evicts 1
+	if c.Bytes() <= 0 || c.Bytes() > 3*before {
+		t.Fatalf("bytes accounting off: %d", c.Bytes())
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	c := New(64, &metrics.Counters{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := graph.VertexID((w*500 + i) % 128)
+				if _, ok := c.Acquire(id); !ok {
+					if !c.TryInsert(v(id)) {
+						c.ForceInsert(v(id))
+					}
+				}
+				c.Release(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 65 {
+		t.Fatalf("cache exceeded capacity bound after churn: %d", c.Len())
+	}
+}

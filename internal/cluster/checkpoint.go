@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gminer/internal/store"
+	"gminer/internal/wire"
+)
+
+// Fault tolerance (§7): "G-Miner achieves fault tolerance by saving a
+// snapshot periodically. For each checkpoint, the master instructs each
+// worker to dump the state of its partition."
+//
+// A worker checkpoints by quiescing its pipeline: the retriever and seeder
+// pause, the task buffer flushes, and in-flight tasks (CMQ, CPQ, active)
+// drain back into the task store or die. At that point every alive task is
+// inactive in the store, so the snapshot = seed cursor + store contents +
+// emitted results + aggregator partial is a consistent cut. Thanks to the
+// task model "we do not need to checkpoint any message".
+//
+// Recovery re-runs the dead worker's tasks from its last snapshot; the
+// other workers keep their progress because tasks are independent.
+
+// workerSnapshot is one worker's checkpoint.
+type workerSnapshot struct {
+	Epoch      int64
+	SeedCursor int64
+	SeedsDone  bool
+	TaskBytes  []byte // store.Snapshot payload
+	Results    []string
+	AggBytes   []byte // encoded aggregator partial; nil if no aggregator
+}
+
+func encodeSnapshot(s *workerSnapshot) []byte {
+	w := wire.NewWriter(1024 + len(s.TaskBytes))
+	w.Varint(s.Epoch)
+	w.Varint(s.SeedCursor)
+	w.Bool(s.SeedsDone)
+	w.BytesField(s.TaskBytes)
+	w.Uvarint(uint64(len(s.Results)))
+	for _, r := range s.Results {
+		w.String(r)
+	}
+	w.Bool(s.AggBytes != nil)
+	if s.AggBytes != nil {
+		w.BytesField(s.AggBytes)
+	}
+	return w.Bytes()
+}
+
+func decodeSnapshot(b []byte) (*workerSnapshot, error) {
+	r := wire.NewReader(b)
+	s := &workerSnapshot{}
+	s.Epoch = r.Varint()
+	s.SeedCursor = r.Varint()
+	s.SeedsDone = r.Bool()
+	s.TaskBytes = r.BytesField()
+	n := r.Uvarint()
+	s.Results = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s.Results = append(s.Results, r.String())
+	}
+	if r.Bool() {
+		s.AggBytes = r.BytesField()
+	}
+	return s, r.Err()
+}
+
+// snapshotSink stores the latest checkpoint per worker: on disk when a
+// checkpoint directory is configured, in memory otherwise.
+type snapshotSink struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[int][]byte
+}
+
+func newSnapshotSink(dir string) (*snapshotSink, error) {
+	s := &snapshotSink{dir: dir}
+	if dir == "" {
+		s.mem = make(map[int][]byte)
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return s, nil
+}
+
+func (s *snapshotSink) put(worker int, data []byte) error {
+	if s.mem != nil {
+		s.mu.Lock()
+		s.mem[worker] = append([]byte(nil), data...)
+		s.mu.Unlock()
+		return nil
+	}
+	tmp := s.path(worker) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return os.Rename(tmp, s.path(worker))
+}
+
+func (s *snapshotSink) get(worker int) (*workerSnapshot, error) {
+	var data []byte
+	if s.mem != nil {
+		s.mu.Lock()
+		data = s.mem[worker]
+		s.mu.Unlock()
+		if data == nil {
+			return nil, nil // no checkpoint yet: restart from scratch
+		}
+	} else {
+		var err error
+		data, err = os.ReadFile(s.path(worker))
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return decodeSnapshot(data)
+}
+
+func (s *snapshotSink) path(worker int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("worker-%d.ckpt", worker))
+}
+
+// checkpoint quiesces the pipeline and persists a snapshot, then notifies
+// the master. Runs on its own goroutine (must not block the comm loop,
+// which keeps serving pull requests during the global checkpoint).
+func (w *Worker) checkpoint(epoch int64) {
+	w.paused.Store(true)
+	defer w.paused.Store(false)
+
+	// Quiesce: wait until every alive task is inactive in the store.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if w.stopped() {
+			return
+		}
+		w.flushBatch(w.buffer.drain())
+		if int64(w.store.Size()) == w.inflight.Load() && w.buffer.len() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			// Could not quiesce (pathological pull starvation); skip this
+			// checkpoint rather than stall the job.
+			return
+		}
+		time.Sleep(300 * time.Microsecond)
+	}
+
+	taskBytes, err := w.store.Snapshot()
+	if err != nil {
+		return
+	}
+	snap := &workerSnapshot{
+		Epoch:      epoch,
+		SeedCursor: w.seedCursor.Load(),
+		SeedsDone:  w.seedsDone.Load(),
+		TaskBytes:  taskBytes,
+		Results:    w.takeResults(),
+	}
+	if w.agg != nil {
+		wr := wire.NewWriter(32)
+		w.aggMu.Lock()
+		w.agg.Encode(wr, w.aggPartial)
+		w.aggMu.Unlock()
+		snap.AggBytes = wr.Bytes()
+	}
+	if w.snapshots != nil {
+		if err := w.snapshots.put(w.id, encodeSnapshot(snap)); err != nil {
+			return
+		}
+	}
+	_ = w.ep.Send(w.masterNode, msgCheckpointDone, encodeEpoch(epoch))
+}
+
+// applySnapshot restores worker state from a checkpoint before the
+// pipeline starts.
+func (w *Worker) applySnapshot(s *workerSnapshot) {
+	w.seedCursor.Store(s.SeedCursor)
+	w.seedsDone.Store(s.SeedsDone)
+	w.results = append(w.results, s.Results...)
+	if w.agg != nil && s.AggBytes != nil {
+		w.aggPartial = w.agg.Decode(wire.NewReader(s.AggBytes))
+	}
+	tasks, err := store.DecodeSnapshot(s.TaskBytes, w.algo)
+	if err != nil {
+		return
+	}
+	for _, t := range tasks {
+		w.intake(t, false)
+	}
+	w.flushBatch(w.buffer.drain())
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"time"
+
+	"gminer/internal/partition"
+)
+
+// Config controls a G-Miner job. Zero values are filled by Defaults.
+type Config struct {
+	// Workers is the number of worker nodes (the paper's slaves).
+	Workers int
+	// Threads is the number of computing threads per worker (the task
+	// executor's thread pool, §4.3).
+	Threads int
+
+	// CacheCapacity is the RCV cache size in vertices per worker.
+	CacheCapacity int
+	// StoreMemCapacity is the number of inactive tasks a worker keeps in
+	// memory before the task store spills blocks to disk.
+	StoreMemCapacity int
+	// StoreBlockCapacity is the number of tasks per spilled block.
+	StoreBlockCapacity int
+	// SpillDir is the directory for spilled task blocks; empty keeps
+	// blocks in accounted memory buffers (tests, benchmarks).
+	SpillDir string
+
+	// UseLSH orders the task priority queue by minhash signatures of
+	// to_pull sets (§7). Disabling reproduces Dis-LSH in Figure 12.
+	UseLSH bool
+	// LSHDims is the signature dimension (default 4).
+	LSHDims int
+
+	// Stealing enables dynamic load balancing by task stealing (§6.2).
+	Stealing bool
+	// StealBatch is Tnum, the number of tasks migrated per MIGRATE.
+	StealBatch int
+	// StealCostMax is Tc: only tasks with c(t) = |subG|+|cand| < Tc move.
+	StealCostMax int
+	// StealLocalityMax is Tr: only tasks with lr(t) < Tr move.
+	StealLocalityMax float64
+	// StealPolicy overrides the Eq. 2/3 cost model (nil: CostPolicy built
+	// from StealCostMax/StealLocalityMax). Policies implementing
+	// TaskObserver are fed completed-task costs.
+	StealPolicy StealPolicy
+
+	// EagerSeeding generates every seed task before processing starts
+	// (the paper's behavior; §9 lists it as an overhead). When false,
+	// seeds stream into the pipeline with backpressure.
+	EagerSeeding bool
+
+	// ProgressInterval is the progress-report period.
+	ProgressInterval time.Duration
+	// CheckpointEvery takes a checkpoint each interval; 0 disables.
+	CheckpointEvery time.Duration
+	// CheckpointDir stores checkpoint files (empty: in-memory snapshots).
+	CheckpointDir string
+	// FailTimeout marks a worker dead after this silence; 0 disables
+	// failure detection.
+	FailTimeout time.Duration
+
+	// Partitioner distributes vertices to workers; default BDG (§6.1).
+	Partitioner partition.Partitioner
+
+	// Latency and BandwidthBps configure the simulated network.
+	Latency      time.Duration
+	BandwidthBps int64
+	// UseTCP runs the job over real loopback TCP sockets instead of the
+	// in-process network.
+	UseTCP bool
+
+	// SampleEvery enables utilization timeline sampling (Figures 5–6)
+	// with the given period; 0 disables.
+	SampleEvery time.Duration
+
+	// MaxPendingPulls bounds tasks waiting in the CMQ per worker.
+	MaxPendingPulls int
+	// CPQHighWater bounds the ready-task computation queue per worker.
+	CPQHighWater int
+	// BufferFlush is the task-buffer batch size (§4.3: "inserted into the
+	// task store in batches").
+	BufferFlush int
+}
+
+// Defaults fills unset fields with production defaults.
+func (c Config) Defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 8192
+	}
+	if c.StoreMemCapacity <= 0 {
+		c.StoreMemCapacity = 8192
+	}
+	if c.StoreBlockCapacity <= 0 {
+		c.StoreBlockCapacity = c.StoreMemCapacity / 4
+	}
+	if c.LSHDims <= 0 {
+		c.LSHDims = 4
+	}
+	if c.StealBatch <= 0 {
+		c.StealBatch = 32
+	}
+	if c.StealCostMax <= 0 {
+		c.StealCostMax = 4096
+	}
+	if c.StealLocalityMax <= 0 {
+		c.StealLocalityMax = 0.9
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 2 * time.Millisecond
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = partition.BDG{}
+	}
+	if c.MaxPendingPulls <= 0 {
+		// The CMQ window pins remote candidates in the cache; it must stay
+		// a fraction of the cache or the RCV ordering cannot pay off.
+		c.MaxPendingPulls = c.CacheCapacity / 16
+		if c.MaxPendingPulls < 16 {
+			c.MaxPendingPulls = 16
+		}
+		if c.MaxPendingPulls > 256 {
+			c.MaxPendingPulls = 256
+		}
+	}
+	if c.CPQHighWater <= 0 {
+		c.CPQHighWater = 4 * c.Threads * 8
+		if max := c.CacheCapacity / 16; c.CPQHighWater > max && max >= 8 {
+			c.CPQHighWater = max
+		}
+	}
+	if c.BufferFlush <= 0 {
+		c.BufferFlush = 64
+	}
+	return c
+}

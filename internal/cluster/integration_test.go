@@ -1,0 +1,90 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"gminer/internal/algo"
+	"gminer/internal/cluster"
+	"gminer/internal/dfs"
+	"gminer/internal/gen"
+)
+
+// TestEndToEndThroughDFS exercises the paper's full job flow: the input
+// graph lives on the (mini-)distributed filesystem, the job runs on the
+// cluster runtime, and the output records are dumped back to the DFS.
+func TestEndToEndThroughDFS(t *testing.T) {
+	fs, err := dfs.New(dfs.Config{DataNodes: 3, Replication: 2, BlockSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := gen.Community(gen.CommunityConfig{
+		Communities: 15, MinSize: 6, MaxSize: 10, PIn: 0.7, Bridges: 150, Seed: 301,
+	})
+	if err := dfs.SaveGraph(fs, "/input/graph", orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// A datanode dies between ingest and load; replication covers it.
+	fs.KillDataNode(1)
+	g, err := dfs.LoadGraph(fs, "/input/graph", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cd := algo.NewCommunityDetect(0.6, 4)
+	want := algo.RefCommunities(g, cd)
+	res, err := cluster.Run(g, cd, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, res.Records, want)
+
+	if err := dfs.SaveRecords(fs, "/output/communities", res.Records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dfs.LoadRecords(fs, "/output/communities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, back, want)
+}
+
+// TestDeterministicResults: with stealing disabled the record set is a
+// pure function of (graph, algorithm, partitioning) — repeated runs agree
+// exactly even though execution interleavings differ.
+func TestDeterministicResults(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 3200, Seed: 307})
+	qc := algo.NewQuasiClique(0.7, 4)
+	cfg := smallConfig()
+	cfg.Stealing = false
+	first, err := cluster.Run(g, qc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := cluster.Run(g, qc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRecords(t, res.Records, first.Records)
+	}
+}
+
+// TestMonitorSourceMethods checks the Job-side monitoring contract.
+func TestMonitorSourceMethods(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 1000, Seed: 311})
+	job, err := cluster.Start(g, algo.NewTriangleCount(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := job.WorkerSnapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots: %d", len(snaps))
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !job.Done() {
+		t.Fatal("job should report done after Wait")
+	}
+}

@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+	"gminer/internal/partition"
+	"gminer/internal/transport"
+)
+
+// Result summarizes a finished job.
+type Result struct {
+	// Records are all emitted output records, merged across workers and
+	// sorted for determinism.
+	Records []string
+	// AggGlobal is the final merged aggregator value (nil if none).
+	AggGlobal any
+	// Elapsed is the mining time (excludes partitioning).
+	Elapsed time.Duration
+	// PartitionTime is the static partitioning time (Figure 11 reports it
+	// separately from job time).
+	PartitionTime time.Duration
+	// PerWorker holds each worker's final counters; Total is their sum
+	// (plus the master's traffic).
+	PerWorker []metrics.Snapshot
+	Total     metrics.Snapshot
+	// Timeline is the cluster-wide utilization timeline when sampling was
+	// enabled (Figures 5–6).
+	Timeline []metrics.TimelinePoint
+	// EdgeCut is the partitioning edge-cut fraction.
+	EdgeCut float64
+	// Recovered counts worker recoveries during the run.
+	Recovered int
+}
+
+// CPUUtil returns the average computing-thread utilization of the run.
+func (r *Result) CPUUtil(cfg Config) float64 {
+	return r.Total.CPUUtil(r.Elapsed, cfg.Workers*cfg.Threads)
+}
+
+// Job is a running G-Miner job.
+type Job struct {
+	cfg    Config
+	g      *graph.Graph
+	algo   core.Algorithm
+	assign *partition.Assignment
+
+	netLocal *transport.LocalNetwork
+	netTCP   *transport.TCPNetwork
+
+	workers  []*Worker
+	workerMu sync.Mutex
+	master   *master
+	sink     *snapshotSink
+
+	counters []*metrics.Counters // one per node (workers + master)
+	sampler  *metrics.Sampler
+
+	partitionTime time.Duration
+	started       time.Time
+	failures      chan int
+	recovered     int
+	autoRecover   bool
+
+	waitOnce sync.Once
+	result   *Result
+	err      error
+}
+
+// Start partitions the graph and launches the cluster. The graph must be
+// frozen.
+func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
+	cfg = cfg.Defaults()
+	if !g.Frozen() {
+		return nil, fmt.Errorf("cluster: graph must be frozen")
+	}
+	j := &Job{cfg: cfg, g: g, algo: algo, failures: make(chan int, cfg.Workers)}
+
+	pStart := time.Now()
+	assign, err := cfg.Partitioner.Partition(g, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partition: %w", err)
+	}
+	j.partitionTime = time.Since(pStart)
+	j.assign = assign
+
+	nodes := cfg.Workers + 1 // + master
+	j.counters = make([]*metrics.Counters, nodes)
+	for i := range j.counters {
+		j.counters[i] = &metrics.Counters{}
+	}
+
+	endpoints := make([]transport.Endpoint, nodes)
+	if cfg.UseTCP {
+		tn, err := transport.NewTCP(nodes, j.counters)
+		if err != nil {
+			return nil, err
+		}
+		j.netTCP = tn
+		for i := 0; i < nodes; i++ {
+			endpoints[i] = tn.Endpoint(i)
+		}
+	} else {
+		ln := transport.NewLocal(transport.LocalConfig{
+			Nodes:        nodes,
+			Latency:      cfg.Latency,
+			BandwidthBps: cfg.BandwidthBps,
+			Counters:     j.counters,
+		})
+		j.netLocal = ln
+		for i := 0; i < nodes; i++ {
+			endpoints[i] = ln.Endpoint(i)
+		}
+	}
+
+	sink, err := newSnapshotSink(cfg.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	j.sink = sink
+
+	var agg core.Aggregator
+	if ap, ok := algo.(core.AggregatorProvider); ok {
+		agg = ap.Aggregator()
+	}
+	j.master = newMaster(cfg, endpoints[cfg.Workers], agg, j.counters[cfg.Workers], j.failures)
+
+	j.workers = make([]*Worker, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := newWorker(i, cfg, algo, g, assign, endpoints[i], j.counters[i], sink, nil)
+		if err != nil {
+			return nil, err
+		}
+		j.workers[i] = w
+	}
+
+	if cfg.SampleEvery > 0 {
+		j.sampler = metrics.NewSampler(cfg.SampleEvery, cfg.Workers*cfg.Threads, j.counters[:cfg.Workers]...)
+		j.sampler.Start()
+	}
+
+	j.started = time.Now()
+	for _, w := range j.workers {
+		w.start()
+	}
+	go j.master.run()
+	if cfg.FailTimeout > 0 {
+		j.autoRecover = true
+		go j.recoveryLoop()
+	}
+	return j, nil
+}
+
+// Run starts a job and waits for its result.
+func Run(g *graph.Graph, algo core.Algorithm, cfg Config) (*Result, error) {
+	j, err := Start(g, algo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+// KillWorker simulates a crash of worker i: its goroutines stop without
+// flushing anything, its mailbox is wiped (in-flight messages to it are
+// lost) and it stops serving pull requests until recovered. Only
+// supported on the local transport.
+func (j *Job) KillWorker(i int) {
+	j.workerMu.Lock()
+	w := j.workers[i]
+	j.workerMu.Unlock()
+	w.kill()
+	if j.netLocal != nil {
+		j.netLocal.Reset(i)
+	}
+}
+
+// RecoverWorker replaces a killed worker with a fresh one restored from
+// its last checkpoint (or from scratch if none was taken).
+func (j *Job) RecoverWorker(i int) error {
+	snap, err := j.sink.get(i)
+	if err != nil {
+		return err
+	}
+	var ep transport.Endpoint
+	if j.netLocal != nil {
+		ep = j.netLocal.Endpoint(i)
+	} else {
+		return fmt.Errorf("cluster: recovery requires the local transport")
+	}
+	w, err := newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, snap)
+	if err != nil {
+		return err
+	}
+	j.workerMu.Lock()
+	j.workers[i] = w
+	j.recovered++
+	j.workerMu.Unlock()
+	w.start()
+	return nil
+}
+
+// recoveryLoop respawns workers flagged dead by the master's failure
+// detector.
+func (j *Job) recoveryLoop() {
+	for {
+		select {
+		case <-j.master.doneCh:
+			return
+		case i := <-j.failures:
+			j.workerMu.Lock()
+			alreadyDead := j.workers[i].killed.Load()
+			j.workerMu.Unlock()
+			if alreadyDead {
+				_ = j.RecoverWorker(i)
+			}
+		}
+	}
+}
+
+// Wait blocks until the job terminates and returns the merged result.
+func (j *Job) Wait() (*Result, error) {
+	j.waitOnce.Do(func() {
+		<-j.master.doneCh
+		elapsed := time.Since(j.started)
+
+		j.workerMu.Lock()
+		workers := append([]*Worker(nil), j.workers...)
+		recovered := j.recovered
+		j.workerMu.Unlock()
+
+		for _, w := range workers {
+			w.stop()
+		}
+		if j.netLocal != nil {
+			j.netLocal.Close()
+		}
+		if j.netTCP != nil {
+			j.netTCP.Close()
+		}
+		for _, w := range workers {
+			w.wg.Wait()
+			w.spiller.Close()
+		}
+
+		res := &Result{
+			Elapsed:       elapsed,
+			PartitionTime: j.partitionTime,
+			EdgeCut:       j.assign.EdgeCut(j.g),
+			AggGlobal:     j.master.globalAgg(),
+			Recovered:     recovered,
+		}
+		for _, w := range workers {
+			res.Records = append(res.Records, w.takeResults()...)
+		}
+		sort.Strings(res.Records)
+		for i := 0; i <= j.cfg.Workers; i++ {
+			snap := j.counters[i].Snapshot()
+			if i < j.cfg.Workers {
+				res.PerWorker = append(res.PerWorker, snap)
+			}
+			res.Total = res.Total.Add(snap)
+		}
+		if j.sampler != nil {
+			res.Timeline = j.sampler.Stop()
+		}
+		j.result = res
+	})
+	return j.result, j.err
+}
+
+// Stop aborts a running job.
+func (j *Job) Stop() {
+	j.master.stop()
+}
+
+// WorkerSnapshots returns the current per-worker counters (live view for
+// monitoring; implements monitor.Source).
+func (j *Job) WorkerSnapshots() []metrics.Snapshot {
+	out := make([]metrics.Snapshot, j.cfg.Workers)
+	for i := 0; i < j.cfg.Workers; i++ {
+		out[i] = j.counters[i].Snapshot()
+	}
+	return out
+}
+
+// Done reports whether the job has terminated.
+func (j *Job) Done() bool {
+	select {
+	case <-j.master.doneCh:
+		return true
+	default:
+		return false
+	}
+}

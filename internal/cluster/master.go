@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"time"
+
+	"gminer/internal/core"
+	"gminer/internal/metrics"
+	"gminer/internal/transport"
+	"gminer/internal/wire"
+)
+
+// master coordinates the job (§5.1, Figure 4): it maintains the global
+// progress table from worker reports, schedules task stealing (progress
+// scheduler), merges and broadcasts aggregator values, triggers periodic
+// checkpoints, detects failures and decides termination.
+type master struct {
+	cfg      Config
+	ep       transport.Endpoint
+	agg      core.Aggregator // nil if the algorithm has none
+	counters *metrics.Counters
+
+	reports  []*progressReport
+	lastSeen []time.Time
+	partials [][]byte // latest encoded aggregator partial per worker
+
+	// termination detection state
+	stableRounds int
+	lastPrint    []int64 // activity fingerprint of the previous round
+	recovered    bool    // a failure happened: sent/recv sums may never match
+
+	// checkpoint state
+	epoch        int64
+	ckptPending  int
+	lastCkpt     time.Time
+	lastAggBytes []byte
+
+	failed   map[int]bool
+	failures chan<- int
+
+	doneCh chan struct{}
+	stopCh chan struct{}
+}
+
+func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
+	counters *metrics.Counters, failures chan<- int) *master {
+	return &master{
+		cfg:      cfg,
+		ep:       ep,
+		agg:      agg,
+		counters: counters,
+		reports:  make([]*progressReport, cfg.Workers),
+		lastSeen: make([]time.Time, cfg.Workers),
+		partials: make([][]byte, cfg.Workers),
+		failed:   make(map[int]bool),
+		failures: failures,
+		doneCh:   make(chan struct{}),
+		stopCh:   make(chan struct{}),
+		lastCkpt: time.Now(),
+	}
+}
+
+// run is the master's main loop; it returns once the job has terminated
+// (doneCh closed) or the master is stopped externally.
+func (m *master) run() {
+	defer close(m.doneCh)
+	tick := m.cfg.ProgressInterval
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		default:
+		}
+		if msg, ok := m.ep.RecvTimeout(tick); ok {
+			m.handle(msg)
+			// Drain whatever else is queued before doing periodic work.
+			for {
+				msg, ok := m.ep.RecvTimeout(0)
+				if !ok {
+					break
+				}
+				m.handle(msg)
+			}
+		}
+		m.periodic()
+		if m.checkTermination() {
+			m.broadcast(msgStop, nil)
+			return
+		}
+	}
+}
+
+func (m *master) handle(msg transport.Message) {
+	switch msg.Type {
+	case msgProgress:
+		p, err := decodeProgress(msg.Payload)
+		if err != nil || p.Worker < 0 || p.Worker >= m.cfg.Workers {
+			return
+		}
+		m.reports[p.Worker] = p
+		m.lastSeen[p.Worker] = time.Now()
+		if m.failed[p.Worker] {
+			delete(m.failed, p.Worker)
+		}
+		if p.AggSet {
+			m.partials[p.Worker] = p.AggBytes
+		}
+	case msgStealReq:
+		m.scheduleSteal(msg.From)
+	case msgCheckpointDone:
+		if m.ckptPending > 0 {
+			m.ckptPending--
+		}
+	}
+}
+
+// scheduleSteal picks the most heavily loaded worker (largest task-store
+// backlog in the progress table) and orders it to migrate Tnum tasks to
+// the requesting idle worker (§6.2).
+func (m *master) scheduleSteal(thief int) {
+	if !m.cfg.Stealing || m.ckptPending > 0 {
+		return
+	}
+	victim, best := -1, int64(0)
+	for i, r := range m.reports {
+		if r == nil || i == thief || m.failed[i] {
+			continue
+		}
+		if r.StoreSize > best {
+			victim, best = i, r.StoreSize
+		}
+	}
+	if victim < 0 || best == 0 {
+		_ = m.ep.Send(thief, msgNoTask, nil)
+		return
+	}
+	_ = m.ep.Send(victim, msgMigrate, encodeMigrate(thief, m.cfg.StealBatch))
+}
+
+// periodic runs aggregator sync, checkpoint triggering and failure
+// detection.
+func (m *master) periodic() {
+	// Aggregator: merge the latest partials and broadcast when changed.
+	if m.agg != nil {
+		merged := m.agg.Zero()
+		for _, pb := range m.partials {
+			if pb == nil {
+				continue
+			}
+			v := m.agg.Decode(wire.NewReader(pb))
+			merged = m.agg.Merge(merged, v)
+		}
+		w := wire.NewWriter(32)
+		m.agg.Encode(w, merged)
+		if string(w.Bytes()) != string(m.lastAggBytes) {
+			m.lastAggBytes = append([]byte(nil), w.Bytes()...)
+			m.broadcast(msgAggGlobal, w.Bytes())
+		}
+	}
+
+	// Checkpointing.
+	if m.cfg.CheckpointEvery > 0 {
+		if m.ckptPending > 0 {
+			// Abandon an epoch whose acks never arrive (a worker died
+			// mid-checkpoint); the next epoch will supersede it.
+			limit := 5 * m.cfg.CheckpointEvery
+			if limit < 250*time.Millisecond {
+				limit = 250 * time.Millisecond
+			}
+			if time.Since(m.lastCkpt) > limit {
+				m.ckptPending = 0
+			}
+		}
+		if m.ckptPending == 0 && time.Since(m.lastCkpt) >= m.cfg.CheckpointEvery {
+			m.epoch++
+			m.ckptPending = m.cfg.Workers
+			m.lastCkpt = time.Now()
+			m.broadcast(msgCheckpointReq, encodeEpoch(m.epoch))
+		}
+	}
+
+	// Failure detection.
+	if m.cfg.FailTimeout > 0 {
+		now := time.Now()
+		for i := 0; i < m.cfg.Workers; i++ {
+			if m.failed[i] || m.lastSeen[i].IsZero() {
+				continue
+			}
+			if now.Sub(m.lastSeen[i]) > m.cfg.FailTimeout {
+				m.failed[i] = true
+				m.recovered = true
+				m.stableRounds = 0
+				if m.failures != nil {
+					select {
+					case m.failures <- i:
+					default:
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkTermination applies the stability-based quiescence test: every
+// worker idle (seeds done, no alive tasks), migration counters balanced,
+// and the per-worker activity fingerprint unchanged across several
+// consecutive rounds. The fingerprint window covers in-flight task
+// messages: any late delivery bumps a worker's activity counter and resets
+// the window.
+func (m *master) checkTermination() bool {
+	if m.ckptPending > 0 {
+		return false
+	}
+	var sent, recv int64
+	print := make([]int64, m.cfg.Workers)
+	for i, r := range m.reports {
+		if r == nil || m.failed[i] {
+			m.stableRounds = 0
+			m.lastPrint = nil
+			return false
+		}
+		if !r.SeedsDone || r.Inflight != 0 {
+			m.stableRounds = 0
+			m.lastPrint = nil
+			return false
+		}
+		sent += r.TasksSent
+		recv += r.TasksRecv
+		print[i] = r.Activity
+	}
+	if sent != recv && !m.recovered {
+		m.stableRounds = 0
+		m.lastPrint = nil
+		return false
+	}
+	if m.lastPrint != nil && equalInt64(print, m.lastPrint) {
+		m.stableRounds++
+	} else {
+		m.stableRounds = 1
+	}
+	m.lastPrint = print
+	// Widen the stability window when the simulated network is slow so an
+	// in-flight migration cannot slip past the quiescence check.
+	need := 3
+	if m.cfg.Latency > 0 {
+		extra := int(m.cfg.Latency/m.cfg.ProgressInterval)*2 + 1
+		need += extra
+	}
+	return m.stableRounds >= need
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *master) broadcast(typ uint8, payload []byte) {
+	for i := 0; i < m.cfg.Workers; i++ {
+		_ = m.ep.Send(i, typ, payload)
+	}
+}
+
+// globalAgg returns the final merged aggregator value.
+func (m *master) globalAgg() any {
+	if m.agg == nil {
+		return nil
+	}
+	merged := m.agg.Zero()
+	for _, pb := range m.partials {
+		if pb == nil {
+			continue
+		}
+		merged = m.agg.Merge(merged, m.agg.Decode(wire.NewReader(pb)))
+	}
+	return merged
+}
+
+func (m *master) stop() {
+	select {
+	case <-m.stopCh:
+	default:
+		close(m.stopCh)
+	}
+}

@@ -1,0 +1,205 @@
+// Package cluster implements the G-Miner runtime (§5.1, Figure 4): a
+// master coordinating K workers, each running the task pipeline of §4.3
+// (task store → candidate retriever → task executor), with task stealing
+// (§6.2), periodic aggregator synchronization, checkpoint-based fault
+// tolerance (§7) and distributed termination detection.
+package cluster
+
+import (
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/wire"
+)
+
+// Message types of the cluster protocol. Workers are nodes 0..K-1; the
+// master is node K.
+const (
+	// msgPullReq: worker → worker. Payload: vertex ID list. The request
+	// listener of the owning worker responds with msgPullResp.
+	msgPullReq uint8 = iota + 1
+	// msgPullResp: worker → worker. Payload: count + encoded vertices
+	// (missing vertices are encoded with a tombstone flag).
+	msgPullResp
+	// msgProgress: worker → master. Periodic progress report feeding the
+	// master's progress table (termination, stealing, aggregation).
+	msgProgress
+	// msgStealReq: worker → master. "REQ": the sender is idle and wants
+	// more tasks.
+	msgStealReq
+	// msgMigrate: master → worker. "MIGRATE": migrate up to Tnum tasks to
+	// the thief named in the payload.
+	msgMigrate
+	// msgTasks: worker → worker. Payload: encoded migrated tasks.
+	msgTasks
+	// msgNoTask: worker → worker. "No_Task": the victim had nothing to
+	// give; the thief backs off.
+	msgNoTask
+	// msgAggGlobal: master → worker. Broadcast of the merged global
+	// aggregator value.
+	msgAggGlobal
+	// msgCheckpoint: master → worker. Take a checkpoint at the epoch in
+	// the payload.
+	msgCheckpointReq
+	// msgCheckpointDone: worker → master.
+	msgCheckpointDone
+	// msgStop: master → worker. Job finished; shut down the pipeline.
+	msgStop
+)
+
+// progressReport is the periodic worker → master report (§5.1: "a
+// progress reporter that sends its local progress to the master
+// periodically").
+type progressReport struct {
+	Worker    int
+	Inflight  int64 // alive tasks owned by this worker (store+queues+active)
+	StoreSize int64 // inactive tasks in the task store (steal candidates)
+	TasksSent int64 // cumulative tasks migrated out
+	TasksRecv int64 // cumulative tasks migrated in
+	Activity  int64 // monotonically increasing on any task intake/death
+	SeedsDone bool
+	Results   int64
+	AggSet    bool   // AggPartial follows
+	AggBytes  []byte // encoded aggregator partial
+}
+
+func encodeProgress(p *progressReport) []byte {
+	w := wire.NewWriter(64)
+	w.Int(p.Worker)
+	w.Varint(p.Inflight)
+	w.Varint(p.StoreSize)
+	w.Varint(p.TasksSent)
+	w.Varint(p.TasksRecv)
+	w.Varint(p.Activity)
+	w.Bool(p.SeedsDone)
+	w.Varint(p.Results)
+	w.Bool(p.AggSet)
+	if p.AggSet {
+		w.BytesField(p.AggBytes)
+	}
+	return w.Bytes()
+}
+
+func decodeProgress(b []byte) (*progressReport, error) {
+	r := wire.NewReader(b)
+	p := &progressReport{}
+	p.Worker = r.Int()
+	p.Inflight = r.Varint()
+	p.StoreSize = r.Varint()
+	p.TasksSent = r.Varint()
+	p.TasksRecv = r.Varint()
+	p.Activity = r.Varint()
+	p.SeedsDone = r.Bool()
+	p.Results = r.Varint()
+	p.AggSet = r.Bool()
+	if p.AggSet {
+		p.AggBytes = r.BytesField()
+	}
+	return p, r.Err()
+}
+
+// encodePullReq / decodePullReq carry the vertex IDs to pull.
+func encodePullReq(ids []graph.VertexID) []byte {
+	w := wire.NewWriter(16 + 4*len(ids))
+	wire.EncodeIDs(w, ids)
+	return w.Bytes()
+}
+
+func decodePullReq(b []byte) ([]graph.VertexID, error) {
+	r := wire.NewReader(b)
+	ids := wire.DecodeIDs(r)
+	return ids, r.Err()
+}
+
+// encodePullResp encodes the pulled vertices. Vertices missing from the
+// owner's table are encoded as tombstones: present-flag false + bare ID,
+// so the requester can unblock waiting tasks (the candidate resolves to
+// nil at update time).
+func encodePullResp(found []*graph.Vertex, missing []graph.VertexID) []byte {
+	w := wire.NewWriter(256)
+	w.Uvarint(uint64(len(found) + len(missing)))
+	for _, v := range found {
+		w.Bool(true)
+		wire.EncodeVertex(w, v)
+	}
+	for _, id := range missing {
+		w.Bool(false)
+		w.Varint(int64(id))
+	}
+	return w.Bytes()
+}
+
+// pulledVertex is one entry of a pull response.
+type pulledVertex struct {
+	ID      graph.VertexID
+	V       *graph.Vertex // nil for tombstones
+	Present bool
+}
+
+func decodePullResp(b []byte) ([]pulledVertex, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	out := make([]pulledVertex, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if r.Bool() {
+			v := wire.DecodeVertex(r)
+			if v == nil {
+				break
+			}
+			out = append(out, pulledVertex{ID: v.ID, V: v, Present: true})
+		} else {
+			out = append(out, pulledVertex{ID: graph.VertexID(r.Varint())})
+		}
+	}
+	return out, r.Err()
+}
+
+// encodeTasks serializes a migration batch.
+func encodeTasks(tasks []*core.Task, codec core.ContextCodec) []byte {
+	w := wire.NewWriter(256 * len(tasks))
+	w.Uvarint(uint64(len(tasks)))
+	for _, t := range tasks {
+		core.EncodeTask(w, t, codec)
+	}
+	return w.Bytes()
+}
+
+func decodeTasks(b []byte, codec core.ContextCodec) ([]*core.Task, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	out := make([]*core.Task, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, err := core.DecodeTask(r, codec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, r.Err()
+}
+
+// encodeMigrate names the thief and the batch size Tnum.
+func encodeMigrate(thief, tnum int) []byte {
+	w := wire.NewWriter(8)
+	w.Int(thief)
+	w.Int(tnum)
+	return w.Bytes()
+}
+
+func decodeMigrate(b []byte) (thief, tnum int, err error) {
+	r := wire.NewReader(b)
+	thief = r.Int()
+	tnum = r.Int()
+	return thief, tnum, r.Err()
+}
+
+func encodeEpoch(epoch int64) []byte {
+	w := wire.NewWriter(8)
+	w.Varint(epoch)
+	return w.Bytes()
+}
+
+func decodeEpoch(b []byte) (int64, error) {
+	r := wire.NewReader(b)
+	e := r.Varint()
+	return e, r.Err()
+}

@@ -1,0 +1,761 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gminer/internal/cache"
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/lsh"
+	"gminer/internal/metrics"
+	"gminer/internal/partition"
+	"gminer/internal/spill"
+	"gminer/internal/store"
+	"gminer/internal/transport"
+	"gminer/internal/wire"
+)
+
+// pendingTask is one CMQ entry: a task waiting for `remaining` remote
+// candidate vertices to arrive.
+type pendingTask struct {
+	t         *core.Task
+	remaining int
+}
+
+// pullState tracks one in-flight vertex pull: the tasks waiting for it and
+// when it was (last) requested, for retry after worker failures.
+type pullState struct {
+	waiters     []*pendingTask
+	requestedAt time.Time
+	owner       int
+}
+
+// Worker is one slave node (§5.1): it owns a graph partition (vertex
+// table), runs the task pipeline of Figure 2, serves pull requests from
+// other workers (request listener) and reports progress to the master.
+type Worker struct {
+	id   int
+	cfg  Config
+	algo core.Algorithm
+	agg  core.Aggregator // nil when the algorithm has no aggregator
+	ep   transport.Endpoint
+
+	assign    *partition.Assignment
+	local     map[graph.VertexID]*graph.Vertex // local vertex table
+	localIDs  []graph.VertexID                 // seed scan order
+	graphFoot int64
+
+	store   *store.Store
+	cache   *cache.RCV
+	cpq     *taskQueue
+	buffer  *taskBuffer
+	spiller *spill.Spiller
+
+	counters *metrics.Counters
+
+	// CMQ state.
+	pendMu       sync.Mutex
+	pendCond     *sync.Cond
+	pulls        map[graph.VertexID]*pullState
+	pendingTasks int
+	// pullBatch accumulates pull requests per destination so many tasks'
+	// pulls ride one message ("for efficient network transmission", the
+	// same batching §6.2 applies to task migration).
+	pullBatch map[int][]graph.VertexID
+	pullCount int
+
+	// Progress counters.
+	inflight   atomic.Int64 // alive tasks owned by this worker
+	activity   atomic.Int64 // bumps on intake/death/migration
+	tasksSent  atomic.Int64
+	tasksRecv  atomic.Int64
+	seedsDone  atomic.Bool
+	seedCursor atomic.Int64
+
+	// Aggregator state.
+	aggMu      sync.Mutex
+	aggPartial any
+	aggGlobal  any
+
+	// Output collector.
+	resMu   sync.Mutex
+	results []string
+
+	stealBackoff atomic.Int32
+
+	paused   atomic.Bool // checkpoint quiesce
+	killed   atomic.Bool // failure simulation: drop all work silently
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	nextTaskID atomic.Uint64
+
+	masterNode  int
+	snapshots   *snapshotSink
+	stealPolicy StealPolicy
+}
+
+// newWorker builds worker `id` over the shared frozen graph. restore, if
+// non-nil, is a checkpoint snapshot to resume from.
+func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
+	assign *partition.Assignment, ep transport.Endpoint,
+	counters *metrics.Counters, snapshots *snapshotSink, restore *workerSnapshot) (*Worker, error) {
+
+	w := &Worker{
+		id:         id,
+		cfg:        cfg,
+		algo:       algo,
+		ep:         ep,
+		assign:     assign,
+		counters:   counters,
+		stopCh:     make(chan struct{}),
+		masterNode: cfg.Workers,
+		pulls:      make(map[graph.VertexID]*pullState),
+		pullBatch:  make(map[int][]graph.VertexID),
+		snapshots:  snapshots,
+	}
+	w.pendCond = sync.NewCond(&w.pendMu)
+	w.stealPolicy = cfg.StealPolicy
+	if w.stealPolicy == nil {
+		w.stealPolicy = CostPolicy{Tc: cfg.StealCostMax, Tr: cfg.StealLocalityMax}
+	}
+	if ap, ok := algo.(core.AggregatorProvider); ok {
+		w.agg = ap.Aggregator()
+		w.aggPartial = w.agg.Zero()
+		w.aggGlobal = w.agg.Zero()
+	}
+
+	// Load the local partition: the graph loader + vertex table of Fig. 4.
+	ids := assign.Local(g, id)
+	w.local = make(map[graph.VertexID]*graph.Vertex, len(ids))
+	w.localIDs = ids
+	for _, vid := range ids {
+		v := g.Vertex(vid)
+		w.local[vid] = v
+		w.graphFoot += v.FootprintBytes()
+	}
+	// The vertex table is a hash table in the original system, so the task
+	// generator's scan order carries no ID locality; replicate that with a
+	// deterministic hash-shuffle. (Consecutive IDs in synthetic graphs
+	// share neighborhoods, which would otherwise gift the non-LSH queue an
+	// unrealistically good access pattern.)
+	sort.Slice(w.localIDs, func(i, j int) bool {
+		return lsh.HashID(uint64(w.localIDs[i])) < lsh.HashID(uint64(w.localIDs[j]))
+	})
+
+	spillDir := cfg.SpillDir
+	if spillDir != "" {
+		spillDir = filepath.Join(spillDir, fmt.Sprintf("worker-%d", id))
+	}
+	sp, err := spill.New(spillDir, counters)
+	if err != nil {
+		return nil, err
+	}
+	w.spiller = sp
+	lshDims := 0
+	if cfg.UseLSH {
+		lshDims = cfg.LSHDims
+	}
+	w.store = store.New(store.Config{
+		MemCapacity:   cfg.StoreMemCapacity,
+		BlockCapacity: cfg.StoreBlockCapacity,
+		LSHDims:       lshDims,
+		Seed:          0x5eed + uint64(id),
+	}, algo, sp, counters)
+	w.cache = cache.New(cfg.CacheCapacity, counters)
+	w.cpq = newTaskQueue()
+	w.buffer = newTaskBuffer(cfg.BufferFlush)
+
+	// Task IDs: high byte is the origin worker for global uniqueness.
+	w.nextTaskID.Store(uint64(id) << 48)
+
+	if restore != nil {
+		w.applySnapshot(restore)
+	}
+	return w, nil
+}
+
+// start launches the pipeline goroutines.
+func (w *Worker) start() {
+	loops := []func(){w.commLoop, w.retrieverLoop, w.seederLoop, w.progressLoop}
+	for i := 0; i < w.cfg.Threads; i++ {
+		loops = append(loops, w.executorLoop)
+	}
+	w.wg.Add(len(loops))
+	for _, loop := range loops {
+		go func(f func()) {
+			defer w.wg.Done()
+			f()
+		}(loop)
+	}
+}
+
+// stop shuts the pipeline down (idempotent).
+func (w *Worker) stop() {
+	w.stopOnce.Do(func() {
+		close(w.stopCh)
+		w.store.Close()
+		w.cpq.close()
+		w.cache.Close()
+		w.pendMu.Lock()
+		w.pendCond.Broadcast()
+		w.pendMu.Unlock()
+	})
+}
+
+// kill simulates a machine crash: all loops exit without flushing or
+// notifying anyone, and all state is abandoned.
+func (w *Worker) kill() {
+	w.killed.Store(true)
+	w.stop()
+}
+
+func (w *Worker) stopped() bool {
+	select {
+	case <-w.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// assignID gives a task a globally unique ID.
+func (w *Worker) assignID(t *core.Task) {
+	t.ID = w.nextTaskID.Add(1)
+}
+
+// intake admits a task into the pipeline: computes its to_pull set and
+// buffers it toward the task store. migrated marks tasks received via
+// task stealing.
+func (w *Worker) intake(t *core.Task, migrated bool) {
+	w.inflight.Add(1)
+	w.activity.Add(1)
+	if migrated {
+		w.tasksRecv.Add(1)
+	}
+	w.computeToPull(t)
+	if batch := w.buffer.add(t); batch != nil {
+		w.flushBatch(batch)
+	}
+}
+
+func (w *Worker) flushBatch(batch []*core.Task) {
+	if len(batch) == 0 {
+		return
+	}
+	if err := w.store.Insert(batch); err != nil {
+		// Store closed: the job is shutting down; drop silently.
+		return
+	}
+}
+
+// computeToPull fills t.ToPull with the deduplicated candidates that are
+// not in the local partition. Candidates owned by nobody (dangling IDs)
+// are excluded — they resolve to nil at update time.
+func (w *Worker) computeToPull(t *core.Task) {
+	t.ToPull = t.ToPull[:0]
+	seen := make(map[graph.VertexID]struct{}, len(t.Cands))
+	for _, id := range t.Cands {
+		if _, ok := w.local[id]; ok {
+			continue
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if w.assign.Owner(id) < 0 {
+			continue
+		}
+		t.ToPull = append(t.ToPull, id)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Seeder: the task generator of Figure 4, streaming seeds into the pipeline.
+
+func (w *Worker) seederLoop() {
+	spawn := func(t *core.Task) {
+		w.assignID(t)
+		w.intake(t, false)
+	}
+	for i := int(w.seedCursor.Load()); i < len(w.localIDs); i++ {
+		if w.stopped() {
+			return
+		}
+		for w.paused.Load() {
+			time.Sleep(200 * time.Microsecond)
+			if w.stopped() {
+				return
+			}
+		}
+		if !w.cfg.EagerSeeding {
+			// Streaming seeding (extension, §9): backpressure against the
+			// task store so seeds do not all materialize up front.
+			for w.store.Size() > 2*w.cfg.StoreMemCapacity {
+				time.Sleep(time.Millisecond)
+				if w.stopped() {
+					return
+				}
+			}
+		}
+		w.algo.Seed(w.local[w.localIDs[i]], spawn)
+		w.seedCursor.Store(int64(i + 1))
+	}
+	w.seedsDone.Store(true)
+}
+
+// ---------------------------------------------------------------------------
+// Candidate retriever (Figure 2): dequeues inactive tasks from the task
+// store, satisfies candidates from the RCV cache, and issues pull requests
+// for the rest; tasks whose pulls are all satisfied go to the CPQ.
+
+func (w *Worker) retrieverLoop() {
+	for {
+		if w.stopped() {
+			return
+		}
+		if w.paused.Load() {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		// Backpressure: bound ready tasks and in-flight pull tasks so the
+		// references they hold cannot overflow the cache without bound.
+		w.flushPulls()
+		w.cpq.waitBelow(w.cfg.CPQHighWater)
+		w.waitPendingBelow(w.cfg.MaxPendingPulls)
+		t, ok := w.store.TryPop()
+		if !ok {
+			// Nothing to dispatch: push out whatever requests are queued
+			// before going idle.
+			w.flushPulls()
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		w.dispatch(t)
+	}
+}
+
+func (w *Worker) waitPendingBelow(n int) {
+	w.pendMu.Lock()
+	for w.pendingTasks >= n && !w.stopped() {
+		w.pendCond.Wait()
+	}
+	w.pendMu.Unlock()
+}
+
+// dispatch resolves one task's remote candidates against the cache and
+// either readies it or parks it in the CMQ behind batched pull requests.
+func (w *Worker) dispatch(t *core.Task) {
+	if len(t.ToPull) == 0 {
+		t.SetStatus(core.StatusReady)
+		w.cpq.push(t)
+		return
+	}
+	pt := &pendingTask{t: t}
+	w.pendMu.Lock()
+	for _, id := range t.ToPull {
+		if _, ok := w.cache.Acquire(id); ok {
+			continue // reference held until the round completes
+		}
+		pt.remaining++
+		ps, inFlight := w.pulls[id]
+		if !inFlight {
+			owner := w.assign.Owner(id)
+			ps = &pullState{requestedAt: time.Now(), owner: owner}
+			w.pulls[id] = ps
+			w.pullBatch[owner] = append(w.pullBatch[owner], id)
+			w.pullCount++
+		}
+		ps.waiters = append(ps.waiters, pt)
+	}
+	if pt.remaining == 0 {
+		w.pendMu.Unlock()
+		t.SetStatus(core.StatusReady)
+		w.cpq.push(t)
+		return
+	}
+	w.pendingTasks++
+	flush := w.pullCount >= w.cfg.BufferFlush
+	w.pendMu.Unlock()
+	if flush {
+		w.flushPulls()
+	}
+}
+
+// flushPulls sends the accumulated per-destination pull requests.
+func (w *Worker) flushPulls() {
+	w.pendMu.Lock()
+	if w.pullCount == 0 {
+		w.pendMu.Unlock()
+		return
+	}
+	batch := w.pullBatch
+	w.pullBatch = make(map[int][]graph.VertexID)
+	w.pullCount = 0
+	w.pendMu.Unlock()
+	for owner, ids := range batch {
+		_ = w.ep.Send(owner, msgPullReq, encodePullReq(ids))
+	}
+}
+
+// handlePullResp resolves arrived vertices against CMQ waiters.
+func (w *Worker) handlePullResp(payload []byte) {
+	entries, err := decodePullResp(payload)
+	if err != nil {
+		return
+	}
+	var ready []*core.Task
+	w.pendMu.Lock()
+	for _, pv := range entries {
+		ps, ok := w.pulls[pv.ID]
+		if !ok || len(ps.waiters) == 0 {
+			continue // duplicate response (e.g. a retry raced the original)
+		}
+		delete(w.pulls, pv.ID)
+		if pv.Present {
+			// First waiter's reference comes from the insert; each
+			// additional waiter acquires its own.
+			if !w.cache.TryInsert(pv.V) {
+				w.cache.ForceInsert(pv.V)
+			}
+			for range ps.waiters[1:] {
+				w.cache.Acquire(pv.ID)
+			}
+		}
+		for _, pt := range ps.waiters {
+			pt.remaining--
+			if pt.remaining == 0 {
+				w.pendingTasks--
+				ready = append(ready, pt.t)
+			}
+		}
+	}
+	w.pendCond.Broadcast()
+	w.pendMu.Unlock()
+	for _, t := range ready {
+		t.SetStatus(core.StatusReady)
+		w.cpq.push(t)
+	}
+}
+
+// retryStalePulls re-issues pull requests that have been outstanding too
+// long (lost to a crashed worker; its replacement will serve the retry).
+func (w *Worker) retryStalePulls(olderThan time.Duration) {
+	now := time.Now()
+	need := make(map[int][]graph.VertexID)
+	w.pendMu.Lock()
+	for id, ps := range w.pulls {
+		if now.Sub(ps.requestedAt) > olderThan {
+			ps.requestedAt = now
+			need[ps.owner] = append(need[ps.owner], id)
+		}
+	}
+	w.pendMu.Unlock()
+	for owner, ids := range need {
+		_ = w.ep.Send(owner, msgPullReq, encodePullReq(ids))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Task executor (Figure 2): a pool of computing threads running update
+// rounds on ready tasks.
+
+func (w *Worker) executorLoop() {
+	for {
+		t, ok := w.cpq.pop()
+		if !ok {
+			return
+		}
+		w.runTask(t)
+	}
+}
+
+// runTask executes update rounds until the task dies or needs remote
+// candidates. A task whose next-round candidates are all local "directly
+// enters the next round of update without any status change" (§4.2).
+func (w *Worker) runTask(t *core.Task) {
+	for {
+		t.SetStatus(core.StatusActive)
+		if t.Round == 0 {
+			t.Round = 1 // first update round after seeding (§4.2)
+		}
+		start := time.Now()
+		cands := w.resolve(t.Cands)
+		w.algo.Update(t, cands, w)
+		w.counters.AddBusy(time.Since(start))
+
+		next, children := t.TakeTransition()
+		if len(t.ToPull) > 0 {
+			w.cache.Release(t.ToPull...)
+			t.ToPull = t.ToPull[:0]
+		}
+		for _, c := range children {
+			w.assignID(c)
+			c.SetStatus(core.StatusInactive)
+			w.intake(c, false)
+		}
+		if next == nil {
+			t.SetStatus(core.StatusDead)
+			w.taskDead(t)
+			return
+		}
+		t.Advance(next)
+		w.computeToPull(t)
+		if len(t.ToPull) > 0 {
+			t.SetStatus(core.StatusInactive)
+			if batch := w.buffer.add(t); batch != nil {
+				w.flushBatch(batch)
+			}
+			return
+		}
+		if w.stopped() {
+			return
+		}
+	}
+}
+
+func (w *Worker) taskDead(t *core.Task) {
+	w.inflight.Add(-1)
+	w.activity.Add(1)
+	w.counters.TaskDone()
+	if obs, ok := w.stealPolicy.(TaskObserver); ok {
+		obs.ObserveCompleted(t.CostC())
+	}
+}
+
+// resolve maps candidate IDs to vertex objects: local partition first,
+// then the RCV cache; unknown IDs yield nil.
+func (w *Worker) resolve(ids []graph.VertexID) []*graph.Vertex {
+	out := make([]*graph.Vertex, len(ids))
+	for i, id := range ids {
+		if v, ok := w.local[id]; ok {
+			out[i] = v
+			continue
+		}
+		if v, ok := w.cache.Peek(id); ok {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Communication loop: the request listener of Figure 4 plus all control
+// message handling.
+
+func (w *Worker) commLoop() {
+	for {
+		m, ok := w.ep.Recv()
+		if !ok || w.killed.Load() {
+			return
+		}
+		switch m.Type {
+		case msgPullReq:
+			w.servePull(m.From, m.Payload)
+		case msgPullResp:
+			w.handlePullResp(m.Payload)
+		case msgMigrate:
+			w.handleMigrate(m.Payload)
+		case msgTasks:
+			w.handleTasks(m.Payload)
+		case msgNoTask:
+			w.stealBackoff.Store(8)
+		case msgAggGlobal:
+			w.handleAggGlobal(m.Payload)
+		case msgCheckpointReq:
+			if epoch, err := decodeEpoch(m.Payload); err == nil {
+				go w.checkpoint(epoch)
+			}
+		case msgStop:
+			w.stop()
+			return
+		}
+	}
+}
+
+// servePull answers a pull request from another worker with the requested
+// vertices from the local vertex table.
+func (w *Worker) servePull(from int, payload []byte) {
+	ids, err := decodePullReq(payload)
+	if err != nil {
+		return
+	}
+	found := make([]*graph.Vertex, 0, len(ids))
+	var missing []graph.VertexID
+	for _, id := range ids {
+		if v, ok := w.local[id]; ok {
+			found = append(found, v)
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	_ = w.ep.Send(from, msgPullResp, encodePullResp(found, missing))
+}
+
+// handleMigrate serves a MIGRATE order from the master: steal up to Tnum
+// eligible tasks from the task store and ship them to the thief.
+func (w *Worker) handleMigrate(payload []byte) {
+	thief, tnum, err := decodeMigrate(payload)
+	if err != nil {
+		return
+	}
+	tasks := w.store.Steal(tnum, w.stealPolicy.Eligible)
+	if len(tasks) == 0 {
+		_ = w.ep.Send(thief, msgNoTask, nil)
+		return
+	}
+	payloadOut := encodeTasks(tasks, w.algo)
+	w.inflight.Add(-int64(len(tasks)))
+	w.activity.Add(int64(len(tasks)))
+	w.tasksSent.Add(int64(len(tasks)))
+	for range tasks {
+		w.counters.TaskStolen()
+	}
+	_ = w.ep.Send(thief, msgTasks, payloadOut)
+}
+
+// handleTasks admits a migration batch.
+func (w *Worker) handleTasks(payload []byte) {
+	tasks, err := decodeTasks(payload, w.algo)
+	if err != nil {
+		return
+	}
+	for _, t := range tasks {
+		w.intake(t, true)
+	}
+}
+
+func (w *Worker) handleAggGlobal(payload []byte) {
+	if w.agg == nil {
+		return
+	}
+	r := wire.NewReader(payload)
+	v := w.agg.Decode(r)
+	w.aggMu.Lock()
+	w.aggGlobal = v
+	w.aggMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporting, idle detection and steal requests.
+
+func (w *Worker) progressLoop() {
+	ticker := time.NewTicker(w.cfg.ProgressInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ticker.C:
+		}
+		// Flush tasks and pull requests stranded below batch thresholds.
+		w.flushBatch(w.buffer.drain())
+		w.flushPulls()
+		w.retryStalePulls(50 * w.cfg.ProgressInterval)
+		w.observeMemory()
+
+		rep := &progressReport{
+			Worker:    w.id,
+			Inflight:  w.inflight.Load(),
+			StoreSize: int64(w.store.Size()),
+			TasksSent: w.tasksSent.Load(),
+			TasksRecv: w.tasksRecv.Load(),
+			Activity:  w.activity.Load(),
+			SeedsDone: w.seedsDone.Load(),
+			Results:   int64(w.resultCount()),
+		}
+		if w.agg != nil {
+			wr := wire.NewWriter(32)
+			w.aggMu.Lock()
+			w.agg.Encode(wr, w.aggPartial)
+			w.aggMu.Unlock()
+			rep.AggSet = true
+			rep.AggBytes = wr.Bytes()
+		}
+		_ = w.ep.Send(w.masterNode, msgProgress, encodeProgress(rep))
+
+		if w.cfg.Stealing && w.seedsDone.Load() && w.inflight.Load() == 0 {
+			if w.stealBackoff.Load() > 0 {
+				w.stealBackoff.Add(-1)
+			} else {
+				_ = w.ep.Send(w.masterNode, msgStealReq, nil)
+			}
+		}
+	}
+}
+
+// observeMemory refreshes this worker's live-memory estimate: graph
+// partition + in-memory task store + RCV cache.
+func (w *Worker) observeMemory() {
+	w.counters.ObserveLive(w.graphFoot + w.store.MemBytes() + w.cache.Bytes())
+}
+
+func (w *Worker) resultCount() int {
+	w.resMu.Lock()
+	defer w.resMu.Unlock()
+	return len(w.results)
+}
+
+// takeResults returns the output records (job collection).
+func (w *Worker) takeResults() []string {
+	w.resMu.Lock()
+	defer w.resMu.Unlock()
+	return append([]string(nil), w.results...)
+}
+
+// aggPartialValue returns the worker's current aggregator partial.
+func (w *Worker) aggPartialValue() any {
+	w.aggMu.Lock()
+	defer w.aggMu.Unlock()
+	return w.aggPartial
+}
+
+// ---------------------------------------------------------------------------
+// core.Env implementation (what Seed/Update can reach).
+
+// WorkerID implements core.Env.
+func (w *Worker) WorkerID() int { return w.id }
+
+// NumWorkers implements core.Env.
+func (w *Worker) NumWorkers() int { return w.cfg.Workers }
+
+// Emit implements core.Env.
+func (w *Worker) Emit(record string) {
+	w.resMu.Lock()
+	w.results = append(w.results, record)
+	w.resMu.Unlock()
+	w.counters.EmitResult()
+}
+
+// AggUpdate implements core.Env.
+func (w *Worker) AggUpdate(v any) {
+	if w.agg == nil {
+		return
+	}
+	w.aggMu.Lock()
+	w.aggPartial = w.agg.Add(w.aggPartial, v)
+	w.aggMu.Unlock()
+}
+
+// AggGlobal implements core.Env.
+func (w *Worker) AggGlobal() any {
+	if w.agg == nil {
+		return nil
+	}
+	w.aggMu.Lock()
+	defer w.aggMu.Unlock()
+	// The freshest view a worker has is its own partial merged with the
+	// last broadcast global.
+	return w.agg.Merge(w.aggGlobal, w.aggPartial)
+}
+
+// LocalVertex implements core.Env.
+func (w *Worker) LocalVertex(id graph.VertexID) *graph.Vertex {
+	return w.local[id]
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"gminer/internal/algo"
+	"gminer/internal/core"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+	"gminer/internal/partition"
+	"gminer/internal/transport"
+)
+
+// newTestWorker builds a worker over a tiny 2-partition graph without
+// starting its goroutines, for white-box pipeline tests.
+func newTestWorker(t *testing.T) (*Worker, *graph.Graph, *transport.LocalNetwork) {
+	t.Helper()
+	g := gen.RMAT(gen.RMATConfig{Scale: 6, Edges: 300, Seed: 9})
+	cfg := Config{Workers: 2, Threads: 1, ProgressInterval: time.Millisecond}.Defaults()
+	assign, err := partition.Hash{}.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewLocal(transport.LocalConfig{Nodes: 3})
+	t.Cleanup(net.Close)
+	w, err := newWorker(0, cfg, algo.NewTriangleCount(), g, assign, net.Endpoint(0),
+		&metrics.Counters{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, g, net
+}
+
+func TestComputeToPullDeduplicatesAndFiltersLocal(t *testing.T) {
+	w, g, _ := newTestWorker(t)
+	var local, remote graph.VertexID = -1, -1
+	g.ForEach(func(v *graph.Vertex) bool {
+		if w.assign.Owner(v.ID) == 0 && local < 0 {
+			local = v.ID
+		}
+		if w.assign.Owner(v.ID) == 1 && remote < 0 {
+			remote = v.ID
+		}
+		return local >= 0 && remote >= 0 == false
+	})
+	if local < 0 || remote < 0 {
+		t.Skip("degenerate partition")
+	}
+	task := &core.Task{Cands: []graph.VertexID{
+		local, remote, remote, graph.VertexID(1 << 40), // dup + dangling
+	}}
+	w.computeToPull(task)
+	if len(task.ToPull) != 1 || task.ToPull[0] != remote {
+		t.Fatalf("ToPull=%v want [%d]", task.ToPull, remote)
+	}
+}
+
+func TestResolvePrefersLocalThenCache(t *testing.T) {
+	w, g, _ := newTestWorker(t)
+	var local graph.VertexID = -1
+	g.ForEach(func(v *graph.Vertex) bool {
+		if w.assign.Owner(v.ID) == 0 {
+			local = v.ID
+			return false
+		}
+		return true
+	})
+	cached := &graph.Vertex{ID: 1 << 20, Adj: []graph.VertexID{1}}
+	w.cache.ForceInsert(cached)
+	got := w.resolve([]graph.VertexID{local, cached.ID, 1 << 40})
+	if got[0] == nil || got[0].ID != local {
+		t.Fatalf("local resolve failed: %+v", got[0])
+	}
+	if got[1] != cached {
+		t.Fatalf("cache resolve failed: %+v", got[1])
+	}
+	if got[2] != nil {
+		t.Fatal("dangling candidate should resolve to nil")
+	}
+}
+
+func TestSeedScanOrderIsHashShuffled(t *testing.T) {
+	w, _, _ := newTestWorker(t)
+	if len(w.localIDs) < 8 {
+		t.Skip("too few local vertices")
+	}
+	ascending := true
+	for i := 1; i < len(w.localIDs); i++ {
+		if w.localIDs[i] < w.localIDs[i-1] {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		t.Fatal("seed scan order is ID-sorted; the vertex-table hash shuffle is missing")
+	}
+}
+
+func TestFlushPullsBatchesByOwner(t *testing.T) {
+	w, g, net := newTestWorker(t)
+	// Queue two pulls for worker 1 through dispatch's batch, then flush.
+	var remotes []graph.VertexID
+	g.ForEach(func(v *graph.Vertex) bool {
+		if w.assign.Owner(v.ID) == 1 {
+			remotes = append(remotes, v.ID)
+		}
+		return len(remotes) < 3
+	})
+	if len(remotes) < 2 {
+		t.Skip("degenerate partition")
+	}
+	task := &core.Task{Cands: remotes, ToPull: remotes}
+	w.dispatch(task)
+	w.flushPulls()
+	// One batched message should arrive at worker 1 carrying all IDs.
+	msg, ok := net.Endpoint(1).RecvTimeout(time.Second)
+	if !ok || msg.Type != msgPullReq {
+		t.Fatalf("no pull request: %+v ok=%v", msg, ok)
+	}
+	ids, err := decodePullReq(msg.Payload)
+	if err != nil || len(ids) != len(remotes) {
+		t.Fatalf("ids=%v err=%v", ids, err)
+	}
+	if _, more := net.Endpoint(1).RecvTimeout(10 * time.Millisecond); more {
+		t.Fatal("pulls were not batched into one message")
+	}
+}
+
+func TestHandlePullRespReadiesTask(t *testing.T) {
+	w, g, _ := newTestWorker(t)
+	var remotes []graph.VertexID
+	g.ForEach(func(v *graph.Vertex) bool {
+		if w.assign.Owner(v.ID) == 1 {
+			remotes = append(remotes, v.ID)
+		}
+		return len(remotes) < 2
+	})
+	if len(remotes) < 2 {
+		t.Skip("degenerate partition")
+	}
+	task := &core.Task{Cands: remotes, ToPull: remotes}
+	w.dispatch(task)
+	if w.cpq.len() != 0 {
+		t.Fatal("task ready before pulls resolved")
+	}
+	var found []*graph.Vertex
+	for _, id := range remotes {
+		found = append(found, g.Vertex(id))
+	}
+	w.handlePullResp(encodePullResp(found, nil))
+	if w.cpq.len() != 1 {
+		t.Fatalf("task not readied: cpq=%d", w.cpq.len())
+	}
+	// The pulled vertices are pinned for the task.
+	for _, id := range remotes {
+		if w.cache.Refs(id) < 1 {
+			t.Fatalf("vertex %d not pinned", id)
+		}
+	}
+}
+
+func TestHandlePullRespTombstone(t *testing.T) {
+	w, _, _ := newTestWorker(t)
+	missing := graph.VertexID(1 << 30)
+	task := &core.Task{Cands: []graph.VertexID{missing}, ToPull: []graph.VertexID{missing}}
+	// Force-register the pull (computeToPull would drop a dangling ID;
+	// this models an owner-map/graph inconsistency).
+	w.pendMu.Lock()
+	pt := &pendingTask{t: task, remaining: 1}
+	w.pulls[missing] = &pullState{waiters: []*pendingTask{pt}, owner: 1}
+	w.pendingTasks++
+	w.pendMu.Unlock()
+
+	w.handlePullResp(encodePullResp(nil, []graph.VertexID{missing}))
+	if w.cpq.len() != 1 {
+		t.Fatal("tombstone did not unblock the task")
+	}
+	if _, ok := w.cache.Peek(missing); ok {
+		t.Fatal("tombstone cached as a vertex")
+	}
+}

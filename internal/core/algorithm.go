@@ -1,0 +1,117 @@
+package core
+
+import (
+	"gminer/internal/graph"
+	"gminer/internal/wire"
+)
+
+// Algorithm is the user-facing programming framework (§5.2, Listing 1).
+// The paper's C++ API asks users to subclass Task (update) and Worker
+// (vtxParser, init, output); in Go the same contract is one interface plus
+// the ContextCodec for task serialization.
+type Algorithm interface {
+	ContextCodec
+
+	// Name identifies the algorithm in logs and checkpoints.
+	Name() string
+
+	// Seed implements init(v): inspect one vertex of the local partition
+	// and produce zero or more tasks rooted at it. The runtime streams
+	// seeds through the pipeline, so Seed must not retain v.
+	Seed(v *graph.Vertex, spawn func(*Task))
+
+	// Update implements the per-round update operation: cands[i] is the
+	// vertex object for t.Cands[i] (nil if the vertex does not exist in
+	// the graph — algorithms must tolerate dangling candidates). Update
+	// mutates t.Subgraph / t.Context, emits results via env, and calls
+	// t.Pull to continue into the next round; returning without Pull ends
+	// the task.
+	Update(t *Task, cands []*graph.Vertex, env Env)
+}
+
+// AggregatorProvider is implemented by algorithms that use global
+// aggregation (e.g. MCF's global currently-maximum clique size, §5.1).
+type AggregatorProvider interface {
+	Aggregator() Aggregator
+}
+
+// Aggregator mirrors the paper's Aggregator class: workers fold local task
+// context into a partial value; the master periodically merges partials
+// and broadcasts the global value back, which Update can read for pruning.
+// Implementations must be safe for use from a single worker goroutine at a
+// time; the runtime serializes calls per worker instance.
+type Aggregator interface {
+	// Zero returns the identity partial value.
+	Zero() any
+	// Add folds a value reported by a task into a partial.
+	Add(partial, v any) any
+	// Merge combines two partials (also used master-side across workers).
+	Merge(a, b any) any
+	// Encode / Decode serialize values for aggregator sync messages.
+	Encode(w *wire.Writer, v any)
+	Decode(r *wire.Reader) any
+}
+
+// Env is the runtime interface available to Seed/Update (the paper's
+// Worker facilities: output collector, aggregator, local vertex table).
+type Env interface {
+	// WorkerID returns the executing worker's index in [0, NumWorkers).
+	WorkerID() int
+	// NumWorkers returns the cluster size (workers, excluding master).
+	NumWorkers() int
+	// Emit appends a result record to the job output (Worker::output).
+	Emit(record string)
+	// AggUpdate folds v into the worker's local aggregator partial.
+	AggUpdate(v any)
+	// AggGlobal returns the last globally synced aggregator value, or the
+	// aggregator's zero if no sync has happened yet. The value may lag the
+	// true global state — aggregation is periodic, not transactional.
+	AggGlobal() any
+	// LocalVertex returns the vertex from the worker's local partition
+	// (not the cache), or nil — used by algorithms that need extra
+	// neighborhood probes beyond the candidate mechanism.
+	LocalVertex(id graph.VertexID) *graph.Vertex
+}
+
+// MaxIntAggregator is the "maximum aggregator" the paper describes for
+// maximum clique finding: tracks the globally largest int reported.
+type MaxIntAggregator struct{}
+
+// Zero implements Aggregator.
+func (MaxIntAggregator) Zero() any { return 0 }
+
+// Add implements Aggregator.
+func (MaxIntAggregator) Add(partial, v any) any {
+	if v.(int) > partial.(int) {
+		return v
+	}
+	return partial
+}
+
+// Merge implements Aggregator.
+func (a MaxIntAggregator) Merge(x, y any) any { return a.Add(x, y) }
+
+// Encode implements Aggregator.
+func (MaxIntAggregator) Encode(w *wire.Writer, v any) { w.Int(v.(int)) }
+
+// Decode implements Aggregator.
+func (MaxIntAggregator) Decode(r *wire.Reader) any { return r.Int() }
+
+// SumInt64Aggregator sums int64 values reported by tasks (e.g. the global
+// count of matched subgraphs in GM, §5.3).
+type SumInt64Aggregator struct{}
+
+// Zero implements Aggregator.
+func (SumInt64Aggregator) Zero() any { return int64(0) }
+
+// Add implements Aggregator.
+func (SumInt64Aggregator) Add(partial, v any) any { return partial.(int64) + v.(int64) }
+
+// Merge implements Aggregator.
+func (SumInt64Aggregator) Merge(x, y any) any { return x.(int64) + y.(int64) }
+
+// Encode implements Aggregator.
+func (SumInt64Aggregator) Encode(w *wire.Writer, v any) { w.Varint(v.(int64)) }
+
+// Decode implements Aggregator.
+func (SumInt64Aggregator) Decode(r *wire.Reader) any { return r.Varint() }

@@ -1,0 +1,411 @@
+// Package dfs is a miniature distributed file system standing in for the
+// HDFS deployment the paper uses as persistent storage (§5.1: "We use
+// HDFS as the underlying persistent storage"; graphs are loaded from it,
+// results are dumped to it, and checkpoints are stored on it).
+//
+// The design mirrors HDFS at the block level: a namenode maps each file
+// to a sequence of fixed-size blocks, each block is replicated on R
+// datanodes, writers stream through a replication pipeline, and readers
+// prefer a local replica (locality hint) with automatic failover to other
+// replicas when a datanode is down. Everything runs in process; datanodes
+// persist to directories when configured, or to memory for tests.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gminer/internal/metrics"
+)
+
+// ErrNotFound is returned for missing files.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrNoReplica is returned when every datanode holding a block is down.
+var ErrNoReplica = errors.New("dfs: no live replica")
+
+// Config configures a DFS cluster.
+type Config struct {
+	// DataNodes is the number of datanodes (default 3).
+	DataNodes int
+	// Replication is the replica count per block (default 2, capped at
+	// DataNodes).
+	Replication int
+	// BlockSize is the block size in bytes (default 1 MiB).
+	BlockSize int
+	// Dir, when set, persists datanode blocks under Dir/dn-<i>/;
+	// otherwise blocks live in memory.
+	Dir string
+	// Counters, if non-nil, receives disk-traffic accounting.
+	Counters *metrics.Counters
+}
+
+func (c Config) defaults() Config {
+	if c.DataNodes <= 0 {
+		c.DataNodes = 3
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Replication > c.DataNodes {
+		c.Replication = c.DataNodes
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1 << 20
+	}
+	return c
+}
+
+// blockID identifies one stored block.
+type blockID struct {
+	file string
+	seq  int
+}
+
+// fileEntry is the namenode's record of one file.
+type fileEntry struct {
+	blocks   int
+	size     int64
+	replicas map[int][]int // block seq → datanode ids
+}
+
+// Cluster is an in-process DFS: one namenode plus N datanodes.
+type Cluster struct {
+	cfg Config
+
+	mu    sync.Mutex
+	files map[string]*fileEntry
+	nodes []*datanode
+	next  int // round-robin placement cursor
+}
+
+// New creates a DFS cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.defaults()
+	c := &Cluster{cfg: cfg, files: make(map[string]*fileEntry)}
+	for i := 0; i < cfg.DataNodes; i++ {
+		dn := &datanode{id: i, counters: cfg.Counters}
+		if cfg.Dir != "" {
+			dn.dir = filepath.Join(cfg.Dir, fmt.Sprintf("dn-%d", i))
+			if err := os.MkdirAll(dn.dir, 0o755); err != nil {
+				return nil, fmt.Errorf("dfs: %w", err)
+			}
+		} else {
+			dn.mem = make(map[string][]byte)
+		}
+		c.nodes = append(c.nodes, dn)
+	}
+	return c, nil
+}
+
+// Create opens a file for writing, replacing any existing file.
+func (c *Cluster) Create(path string) (io.WriteCloser, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.files[path]; ok {
+		c.deleteLocked(path, old)
+	}
+	c.files[path] = &fileEntry{replicas: make(map[int][]int)}
+	return &fileWriter{c: c, path: path}, nil
+}
+
+// Open opens a file for reading. localHint, if in range, names the
+// datanode whose replicas should be preferred (HDFS short-circuit reads).
+func (c *Cluster) Open(path string, localHint int) (io.ReadCloser, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return &fileReader{c: c, path: path, blocks: entry.blocks, hint: localHint}, nil
+}
+
+// Delete removes a file and its blocks.
+func (c *Cluster) Delete(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	c.deleteLocked(path, entry)
+	return nil
+}
+
+func (c *Cluster) deleteLocked(path string, entry *fileEntry) {
+	for seq, nodes := range entry.replicas {
+		for _, n := range nodes {
+			c.nodes[n].delete(blockKey(path, seq))
+		}
+	}
+	delete(c.files, path)
+}
+
+// List returns all file paths with the given prefix, sorted.
+func (c *Cluster) List(prefix string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for p := range c.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stat returns a file's size.
+func (c *Cluster) Stat(path string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return entry.size, nil
+}
+
+// KillDataNode simulates a datanode crash: its blocks become unreadable
+// until Revive.
+func (c *Cluster) KillDataNode(i int) { c.nodes[i].setDown(true) }
+
+// Revive brings a killed datanode back (its stored blocks reappear).
+func (c *Cluster) Revive(i int) { c.nodes[i].setDown(false) }
+
+// placeBlock picks Replication distinct datanodes round-robin, skipping
+// downed nodes when possible (HDFS placement is rack-aware; round-robin
+// preserves the load-spreading property that matters here).
+func (c *Cluster) placeBlock() []int {
+	var out []int
+	tried := 0
+	for len(out) < c.cfg.Replication && tried < 2*len(c.nodes) {
+		n := c.next % len(c.nodes)
+		c.next++
+		tried++
+		if c.nodes[n].isDown() && tried <= len(c.nodes) {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == n {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func blockKey(path string, seq int) string {
+	return fmt.Sprintf("%s#%d", path, seq)
+}
+
+// fileWriter streams data into fixed-size replicated blocks.
+type fileWriter struct {
+	c      *Cluster
+	path   string
+	buf    []byte
+	closed bool
+}
+
+// Write implements io.Writer.
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs: write after close")
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.c.cfg.BlockSize {
+		if err := w.flushBlock(w.buf[:w.c.cfg.BlockSize]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.c.cfg.BlockSize:]
+	}
+	return len(p), nil
+}
+
+// Close flushes the trailing partial block and seals the file.
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flushBlock(w.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *fileWriter) flushBlock(data []byte) error {
+	c := w.c
+	c.mu.Lock()
+	entry, ok := c.files[w.path]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s deleted during write", ErrNotFound, w.path)
+	}
+	seq := entry.blocks
+	nodes := c.placeBlock()
+	entry.blocks++
+	entry.size += int64(len(data))
+	entry.replicas[seq] = nodes
+	c.mu.Unlock()
+
+	// Replication pipeline: every replica receives the block.
+	key := blockKey(w.path, seq)
+	for _, n := range nodes {
+		if err := c.nodes[n].put(key, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileReader streams a file's blocks, preferring the hinted replica.
+type fileReader struct {
+	c      *Cluster
+	path   string
+	blocks int
+	hint   int
+	seq    int
+	cur    []byte
+}
+
+// Read implements io.Reader.
+func (r *fileReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.seq >= r.blocks {
+			return 0, io.EOF
+		}
+		data, err := r.readBlock(r.seq)
+		if err != nil {
+			return 0, err
+		}
+		r.cur = data
+		r.seq++
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// Close implements io.Closer.
+func (r *fileReader) Close() error { return nil }
+
+func (r *fileReader) readBlock(seq int) ([]byte, error) {
+	c := r.c
+	c.mu.Lock()
+	entry, ok := c.files[r.path]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, r.path)
+	}
+	nodes := append([]int(nil), entry.replicas[seq]...)
+	c.mu.Unlock()
+
+	// Locality: try the hinted node first, then the other replicas.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		return nodes[i] == r.hint && nodes[j] != r.hint
+	})
+	key := blockKey(r.path, seq)
+	for _, n := range nodes {
+		data, err := c.nodes[n].get(key)
+		if err == nil {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("dfs: block %s: %w", key, ErrNoReplica)
+}
+
+// datanode stores blocks in memory or under a directory.
+type datanode struct {
+	id       int
+	dir      string
+	counters *metrics.Counters
+
+	mu   sync.Mutex
+	mem  map[string][]byte
+	down bool
+}
+
+var errDown = errors.New("dfs: datanode down")
+
+func (d *datanode) setDown(v bool) {
+	d.mu.Lock()
+	d.down = v
+	d.mu.Unlock()
+}
+
+func (d *datanode) isDown() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down
+}
+
+func (d *datanode) put(key string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down {
+		return errDown
+	}
+	if d.counters != nil {
+		d.counters.AddDiskWrite(int64(len(data)))
+	}
+	if d.mem != nil {
+		d.mem[key] = append([]byte(nil), data...)
+		return nil
+	}
+	return os.WriteFile(d.path(key), data, 0o644)
+}
+
+func (d *datanode) get(key string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down {
+		return nil, errDown
+	}
+	var data []byte
+	var err error
+	if d.mem != nil {
+		b, ok := d.mem[key]
+		if !ok {
+			err = fmt.Errorf("dfs: dn-%d: block %s missing", d.id, key)
+		}
+		data = b
+	} else {
+		data, err = os.ReadFile(d.path(key))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.counters != nil {
+		d.counters.AddDiskRead(int64(len(data)))
+	}
+	return data, nil
+}
+
+func (d *datanode) delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.mem != nil {
+		delete(d.mem, key)
+		return
+	}
+	_ = os.Remove(d.path(key))
+}
+
+func (d *datanode) path(key string) string {
+	safe := strings.NewReplacer("/", "_", "#", "_").Replace(key)
+	return filepath.Join(d.dir, safe)
+}

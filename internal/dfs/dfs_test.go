@@ -1,0 +1,209 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"gminer/internal/gen"
+	"gminer/internal/metrics"
+)
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func writeFile(t *testing.T, c *Cluster, path string, data []byte) {
+	t.Helper()
+	w, err := c.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFile(t *testing.T, c *Cluster, path string, hint int) []byte {
+	t.Helper()
+	r, err := c.Open(path, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWriteReadSmall(t *testing.T) {
+	c := mustCluster(t, Config{})
+	writeFile(t, c, "/a", []byte("hello dfs"))
+	if got := readFile(t, c, "/a", 0); string(got) != "hello dfs" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMultiBlockFile(t *testing.T) {
+	c := mustCluster(t, Config{BlockSize: 64})
+	data := bytes.Repeat([]byte("0123456789"), 100) // 1000 bytes → 16 blocks
+	writeFile(t, c, "/big", data)
+	if got := readFile(t, c, "/big", 1); !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip corrupt")
+	}
+	size, err := c.Stat("/big")
+	if err != nil || size != 1000 {
+		t.Fatalf("size=%d err=%v", size, err)
+	}
+}
+
+func TestReplicationSurvivesDataNodeFailure(t *testing.T) {
+	c := mustCluster(t, Config{DataNodes: 3, Replication: 2, BlockSize: 32})
+	data := bytes.Repeat([]byte("abc"), 100)
+	writeFile(t, c, "/r", data)
+	// Kill any single datanode: every block still has a live replica.
+	for i := 0; i < 3; i++ {
+		c.KillDataNode(i)
+		if got := readFile(t, c, "/r", 0); !bytes.Equal(got, data) {
+			t.Fatalf("data lost with dn-%d down", i)
+		}
+		c.Revive(i)
+	}
+}
+
+func TestReplicationExhausted(t *testing.T) {
+	c := mustCluster(t, Config{DataNodes: 2, Replication: 2, BlockSize: 32})
+	writeFile(t, c, "/r", []byte("payload"))
+	c.KillDataNode(0)
+	c.KillDataNode(1)
+	r, err := c.Open("/r", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("expected ErrNoReplica, got %v", err)
+	}
+}
+
+func TestOverwriteReplacesContent(t *testing.T) {
+	c := mustCluster(t, Config{BlockSize: 8})
+	writeFile(t, c, "/f", []byte("first version, long enough for blocks"))
+	writeFile(t, c, "/f", []byte("second"))
+	if got := readFile(t, c, "/f", 0); string(got) != "second" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeleteAndNotFound(t *testing.T) {
+	c := mustCluster(t, Config{})
+	writeFile(t, c, "/x", []byte("x"))
+	if err := c.Delete("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("/x", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected not found, got %v", err)
+	}
+	if err := c.Delete("/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete should report not found")
+	}
+}
+
+func TestList(t *testing.T) {
+	c := mustCluster(t, Config{})
+	writeFile(t, c, "/jobs/1/out", []byte("a"))
+	writeFile(t, c, "/jobs/2/out", []byte("b"))
+	writeFile(t, c, "/other", []byte("c"))
+	got := c.List("/jobs/")
+	if len(got) != 2 || got[0] != "/jobs/1/out" || got[1] != "/jobs/2/out" {
+		t.Fatalf("list: %v", got)
+	}
+}
+
+func TestDiskBackedDataNodes(t *testing.T) {
+	c := mustCluster(t, Config{Dir: t.TempDir(), BlockSize: 128})
+	data := bytes.Repeat([]byte{0xEE}, 1000)
+	writeFile(t, c, "/disk", data)
+	if got := readFile(t, c, "/disk", 2); !bytes.Equal(got, data) {
+		t.Fatal("disk-backed round trip corrupt")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := &metrics.Counters{}
+	c := mustCluster(t, Config{Counters: m, Replication: 2, BlockSize: 64})
+	writeFile(t, c, "/acc", make([]byte, 256))
+	_ = readFile(t, c, "/acc", 0)
+	snap := m.Snapshot()
+	if snap.DiskWrite < 512 { // 256 bytes x 2 replicas
+		t.Fatalf("writes under-counted: %d", snap.DiskWrite)
+	}
+	if snap.DiskRead < 256 {
+		t.Fatalf("reads under-counted: %d", snap.DiskRead)
+	}
+}
+
+func TestGraphRoundTripThroughDFS(t *testing.T) {
+	c := mustCluster(t, Config{BlockSize: 256})
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 600, Seed: 3})
+	if err := SaveGraph(c, "/graphs/g", g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(c, "/graphs/g", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph mismatch: V %d/%d E %d/%d",
+			g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	c := mustCluster(t, Config{BlockSize: 16})
+	recs := []string{"clique size=3: 1 2 3", "clique size=4: 4 5 6 7"}
+	if err := SaveRecords(c, "/out", recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecords(c, "/out")
+	if err != nil || len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+// Property: any payload survives a write/read cycle at any block size.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, bs8 uint8) bool {
+		c, err := New(Config{BlockSize: int(bs8%63) + 1})
+		if err != nil {
+			return false
+		}
+		w, _ := c.Create("/q")
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := c.Open("/q", 0)
+		if err != nil {
+			return false
+		}
+		got, err := io.ReadAll(r)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+
+	"gminer/internal/graph"
+)
+
+// SaveGraph writes a graph to the DFS in the text adjacency-list format —
+// the paper's job input path ("Each worker Wi loads a piece of graph data
+// Pi by the graph loader" from HDFS).
+func SaveGraph(c *Cluster, path string, g *graph.Graph) error {
+	w, err := c.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteText(w, g); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// LoadGraph reads a graph from the DFS, preferring replicas on the hinted
+// datanode.
+func LoadGraph(c *Cluster, path string, localHint int) (*graph.Graph, error) {
+	r, err := c.Open(path, localHint)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return graph.ReadText(r)
+}
+
+// SaveRecords dumps job output records one per line (Worker::output in
+// Listing 1 "dump results to HDFS").
+func SaveRecords(c *Cluster, path string, records []string) error {
+	w, err := c.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if _, err := io.WriteString(w, rec+"\n"); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// LoadRecords reads records written by SaveRecords.
+func LoadRecords(c *Cluster, path string) ([]string, error) {
+	r, err := c.Open(path, -1)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, string(data[start:i]))
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		return nil, fmt.Errorf("dfs: records file not newline-terminated")
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"time"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/wire"
+)
+
+// delayCal is a calibrated-delay workload for the task-stealing ablation
+// (Figure 13). On a single-core host the OS scheduler is work-conserving,
+// so CPU-bound imbalance cannot change wall time; calibrated sleeps
+// occupy a worker's computing threads without occupying the core, which
+// restores the semantics of "a busy worker" that dynamic load balancing
+// is about. Each seed task sleeps for a duration proportional to its
+// degree, mirroring the skew of real per-task mining cost. The duration
+// is fixed at seed time and carried in the task context, so migration
+// does not change a task's cost.
+type delayCal struct {
+	perNeighbor time.Duration
+	base        time.Duration
+}
+
+func (*delayCal) Name() string { return "delay-cal" }
+
+func (d *delayCal) Seed(v *graph.Vertex, spawn func(*core.Task)) {
+	cost := d.base + time.Duration(v.Degree())*d.perNeighbor
+	t := &core.Task{Context: cost}
+	t.Subgraph.AddVertex(v.ID)
+	// Candidates kept empty: the workload isolates compute-time skew from
+	// communication, so stealing effects are unconfounded.
+	spawn(t)
+}
+
+func (d *delayCal) Update(t *core.Task, cands []*graph.Vertex, env core.Env) {
+	if cost, ok := t.Context.(time.Duration); ok {
+		time.Sleep(cost)
+	}
+}
+
+// EncodeContext implements core.ContextCodec.
+func (*delayCal) EncodeContext(w *wire.Writer, ctx any) {
+	cost, _ := ctx.(time.Duration)
+	w.Varint(int64(cost))
+}
+
+// DecodeContext implements core.ContextCodec.
+func (*delayCal) DecodeContext(r *wire.Reader) any {
+	return time.Duration(r.Varint())
+}

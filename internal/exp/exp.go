@@ -1,0 +1,323 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§8) on the scaled-down synthetic datasets. Each experiment
+// prints rows shaped like the paper's and returns the underlying data so
+// benchmarks and tests can assert on the qualitative claims (who wins, by
+// roughly what factor, where crossovers fall).
+//
+// Measurement model. The harness runs on whatever machine it is given —
+// including single-core CI containers, where wall-clock time cannot show
+// parallel speedup. Comparative experiments (Tables 1, 3, 4, 5; Figures
+// 5/6, 11, 12, 13) therefore use measured wall-clock, which is fair on
+// any core count because every engine serializes equally. Scalability
+// experiments (Figures 7–10) additionally report a *modeled* elapsed
+// time,
+//
+//	T(W, c) = max_w max(busy_w / c, net_w / bandwidth),
+//
+// i.e. each worker overlaps its compute (critical-path work over c
+// threads) with its own link's traffic — the overlap is exactly what the
+// task pipeline provides — and the job takes as long as its slowest
+// worker. The model preserves the effects those figures are about (load
+// balance across workers, communication becoming the bottleneck) and is
+// computed from the same per-worker counters a real deployment reports.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gminer/internal/algo"
+	"gminer/internal/baseline"
+	"gminer/internal/cluster"
+	"gminer/internal/core"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+	"gminer/internal/partition"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale multiplies dataset sizes (1.0 = the default laptop-scale
+	// presets; tests use ~0.1).
+	Scale float64
+	// Out receives the formatted rows; nil discards them.
+	Out io.Writer
+	// Timeout bounds each engine run; runs exceeding it are reported as
+	// the paper's "-" (>24h) cells. Default 20s.
+	Timeout time.Duration
+	// MemBudget bounds baseline engines (the paper's 48 GB/node scaled
+	// down); runs exceeding it are reported as "x" (OOM). Default 512 MB.
+	MemBudget int64
+	// Workers/Threads for the comparative tables. Defaults 4×2.
+	Workers int
+	Threads int
+}
+
+func (o Options) defaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 20 * time.Second
+	}
+	if o.MemBudget <= 0 {
+		o.MemBudget = 512 << 20
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Threads <= 0 {
+		o.Threads = 2
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// Simulated network parameters shared by all engines. The paper's cluster
+// had 1 Gbps links; since the datasets here are scaled down ~1000x while
+// per-byte software costs (serialization, copies) are not, an unscaled
+// network would make communication almost free and hide the
+// pipeline-vs-barrier contrast the evaluation is about. The simulated
+// link is therefore scaled down with the data so the compute:communication
+// ratio of the paper's workloads is preserved. Every engine — G-Miner and
+// baselines alike — runs against the same model.
+const (
+	simLatency   = 500 * time.Microsecond
+	simBandwidth = int64(25 << 20) // effective ~25 MB/s per receiver
+)
+
+// gmConfig builds the standard G-Miner configuration for experiments.
+func gmConfig(o Options, workers, threads int) cluster.Config {
+	return cluster.Config{
+		Workers:          workers,
+		Threads:          threads,
+		UseLSH:           true,
+		Stealing:         true,
+		Latency:          simLatency,
+		BandwidthBps:     simBandwidth,
+		ProgressInterval: 2 * time.Millisecond,
+		Partitioner:      partition.BDG{},
+	}
+}
+
+// blConfig builds the matching baseline-engine configuration.
+func blConfig(o Options, workers, threads int) baseline.Config {
+	return baseline.Config{
+		Workers:      workers,
+		Threads:      threads,
+		MemBudget:    o.MemBudget,
+		Latency:      simLatency,
+		BandwidthBps: simBandwidth,
+		Timeout:      o.Timeout,
+	}
+}
+
+// Cell is one table cell: a value or a failure marker.
+type Cell struct {
+	Seconds float64
+	OOM     bool // "x" in the paper's tables
+	Timeout bool // "-" in the paper's tables
+}
+
+// String renders the cell the way the paper prints it.
+func (c Cell) String() string {
+	switch {
+	case c.OOM:
+		return "x"
+	case c.Timeout:
+		return "-"
+	default:
+		return fmt.Sprintf("%.3f", c.Seconds)
+	}
+}
+
+// OK reports a successful run.
+func (c Cell) OK() bool { return !c.OOM && !c.Timeout }
+
+func cellFor(err error, elapsed time.Duration) Cell {
+	switch {
+	case err == nil:
+		return Cell{Seconds: elapsed.Seconds()}
+	case isOOM(err):
+		return Cell{OOM: true}
+	default:
+		return Cell{Timeout: true}
+	}
+}
+
+func isOOM(err error) bool {
+	return err != nil && errContains(err, "out of memory")
+}
+
+func errContains(err error, sub string) bool {
+	s := err.Error()
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Aliases keeping the figure/table code readable.
+type (
+	clusterRes    = cluster.Result
+	clusterConfig = cluster.Config
+)
+
+// gminerRun executes a job with the experiment timeout; on timeout the
+// job is aborted and a Timeout cell is reported.
+func gminerRun(g *graph.Graph, algoImpl core.Algorithm, cfg cluster.Config, timeout time.Duration) (*cluster.Result, Cell) {
+	type outcome struct {
+		res *cluster.Result
+		err error
+	}
+	job, err := cluster.Start(g, algoImpl, cfg)
+	if err != nil {
+		return nil, Cell{Timeout: true}
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := job.Wait()
+		ch <- outcome{res, err}
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return nil, Cell{Timeout: true}
+		}
+		return out.res, Cell{Seconds: out.res.Elapsed.Seconds()}
+	case <-timer:
+		job.Stop()
+		<-ch
+		return nil, Cell{Timeout: true}
+	}
+}
+
+// MaxWorkerBusy returns the busiest worker's compute time — the modeled
+// critical path for the scalability figures.
+func MaxWorkerBusy(res *cluster.Result) time.Duration {
+	var max time.Duration
+	for _, w := range res.PerWorker {
+		if w.Busy > max {
+			max = w.Busy
+		}
+	}
+	return max
+}
+
+// ModelElapsed applies the measurement model described in the package
+// comment. Per worker, compute (busy/threads) and its own link's traffic
+// overlap — that is exactly what the task pipeline buys — so a worker's
+// modeled time is max(busy/c, net/bandwidth), and the job takes as long
+// as its slowest worker.
+func ModelElapsed(res *cluster.Result, threads int) time.Duration {
+	var worst time.Duration
+	for _, w := range res.PerWorker {
+		compute := w.Busy / time.Duration(threads)
+		comm := time.Duration(w.NetBytes * int64(time.Second) / simBandwidth)
+		t := compute
+		if comm > t {
+			t = comm
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// sumBusy totals compute time across workers.
+func sumBusy(res *cluster.Result) time.Duration {
+	var total time.Duration
+	for _, w := range res.PerWorker {
+		total += w.Busy
+	}
+	return total
+}
+
+// ModelFromShares models elapsed time for a W-worker run using a
+// reference total-work measurement: refBusy (total compute from a
+// 1-worker × 1-thread run, whose timing is not inflated by goroutine
+// oversubscription) is distributed across workers by each worker's share
+// of completed tasks in the real W-worker run, then each worker overlaps
+// compute with its own link traffic:
+//
+//	T = max_w max(refBusy·share_w / c, net_w / bandwidth)
+//
+// Task-count shares understate per-task cost skew but are immune to the
+// timing inflation that per-worker busy counters suffer when dozens of
+// executors share one physical core.
+func ModelFromShares(refBusy time.Duration, res *cluster.Result, threads int) time.Duration {
+	var totalTasks int64
+	for _, w := range res.PerWorker {
+		totalTasks += w.TasksDone
+	}
+	if totalTasks == 0 {
+		return 0
+	}
+	var worst time.Duration
+	for _, w := range res.PerWorker {
+		share := float64(w.TasksDone) / float64(totalTasks)
+		compute := time.Duration(float64(refBusy) * share / float64(threads))
+		comm := time.Duration(w.NetBytes * int64(time.Second) / simBandwidth)
+		t := compute
+		if comm > t {
+			t = comm
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// fmtBytes renders byte counts like the paper's GB columns.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fmtPct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// buildLabeled builds the labeled variant of a preset for GM experiments.
+func buildLabeled(p gen.Preset, scale float64) *graph.Graph {
+	g, err := gen.BuildLabeled(p, scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// timelineSummary compresses a utilization timeline into the average CPU
+// utilization while the run was active (for assertions on Figures 5/6).
+func timelineSummary(points []metrics.TimelinePoint) (avgCPU float64) {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		sum += p.CPUUtil
+	}
+	return sum / float64(len(points))
+}
+
+var _ = algo.FigurePattern // used by tables.go/figures.go

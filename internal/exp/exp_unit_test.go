@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gminer/internal/cluster"
+	"gminer/internal/metrics"
+)
+
+func TestCellRendering(t *testing.T) {
+	if (Cell{Seconds: 1.5}).String() != "1.500" {
+		t.Fatal("seconds cell")
+	}
+	if (Cell{OOM: true}).String() != "x" {
+		t.Fatal("oom cell")
+	}
+	if (Cell{Timeout: true}).String() != "-" {
+		t.Fatal("timeout cell")
+	}
+	if !(Cell{Seconds: 1}).OK() || (Cell{OOM: true}).OK() {
+		t.Fatal("OK wrong")
+	}
+}
+
+func TestCellFor(t *testing.T) {
+	if c := cellFor(nil, 2*time.Second); !c.OK() || c.Seconds != 2 {
+		t.Fatalf("%+v", c)
+	}
+	oom := errors.New("memctl: out of memory budget: used 1 of 1")
+	if c := cellFor(oom, 0); !c.OOM {
+		t.Fatalf("%+v", c)
+	}
+	if c := cellFor(errors.New("anything else"), 0); !c.Timeout {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func resWithWorkers(ws ...metrics.Snapshot) *cluster.Result {
+	return &cluster.Result{PerWorker: ws}
+}
+
+func TestModelElapsedOverlap(t *testing.T) {
+	// Worker 0: compute-bound; worker 1: comm-bound. The job takes the
+	// slower worker's max(compute, comm).
+	res := resWithWorkers(
+		metrics.Snapshot{Busy: 8 * time.Second, NetBytes: 0},
+		metrics.Snapshot{Busy: time.Second, NetBytes: simBandwidth * 3}, // 3s of traffic
+	)
+	got := ModelElapsed(res, 2)
+	if got != 4*time.Second { // max(8/2, 0) vs max(1/2, 3) → 4
+		t.Fatalf("got %v want 4s", got)
+	}
+	got = ModelElapsed(res, 8)
+	if got != 3*time.Second { // worker 1's comm now dominates
+		t.Fatalf("got %v want 3s", got)
+	}
+}
+
+func TestModelFromShares(t *testing.T) {
+	// Tasks split 75/25; reference work 8s.
+	res := resWithWorkers(
+		metrics.Snapshot{TasksDone: 75},
+		metrics.Snapshot{TasksDone: 25},
+	)
+	got := ModelFromShares(8*time.Second, res, 2)
+	if got != 3*time.Second { // 8 × 0.75 / 2
+		t.Fatalf("got %v want 3s", got)
+	}
+	// Balanced shares halve the critical path.
+	res = resWithWorkers(
+		metrics.Snapshot{TasksDone: 50},
+		metrics.Snapshot{TasksDone: 50},
+	)
+	if got := ModelFromShares(8*time.Second, res, 2); got != 2*time.Second {
+		t.Fatalf("balanced: got %v want 2s", got)
+	}
+	// No tasks: zero, not a panic.
+	if got := ModelFromShares(time.Second, resWithWorkers(metrics.Snapshot{}), 2); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestStallFraction(t *testing.T) {
+	points := []metrics.TimelinePoint{
+		{CPUUtil: 0.0}, {CPUUtil: 0.05}, {CPUUtil: 0.5}, {CPUUtil: 1.0},
+	}
+	if got := stallFraction(points); got != 0.5 {
+		t.Fatalf("got %f want 0.5", got)
+	}
+	if stallFraction(nil) != 0 {
+		t.Fatal("empty timeline")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.defaults()
+	if o.Scale != 1.0 || o.Timeout <= 0 || o.MemBudget <= 0 ||
+		o.Workers <= 0 || o.Threads <= 0 || o.Out == nil {
+		t.Fatalf("defaults: %+v", o)
+	}
+}

@@ -1,0 +1,314 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// quick returns options small enough for CI while preserving the
+// qualitative shapes the assertions check.
+func quick() Options {
+	return Options{
+		Scale:     0.25,
+		Timeout:   8 * time.Second,
+		MemBudget: 48 << 20,
+		Workers:   3,
+		Threads:   2,
+		Out:       os.Stderr,
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G-Miner (last engine) must succeed everywhere.
+	for app, byDataset := range res.Cells {
+		for ds, cells := range byDataset {
+			if !cells[len(cells)-1].OK() {
+				t.Errorf("%s/%s: g-miner did not succeed", app, ds)
+			}
+		}
+	}
+	// The Arabesque-like engine must fail (OOM or timeout) on MCF for the
+	// denser datasets, as in the paper.
+	mcfOrkut := res.Cells["mcf"]["orkut-s"]
+	if mcfOrkut[0].OK() {
+		t.Errorf("arabesque-like unexpectedly survived MCF on orkut-s")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		rows[r.System] = r
+	}
+	if !rows["single-thread"].Time.OK() {
+		t.Fatal("single-thread must succeed")
+	}
+	if rows["arabesque-like"].Time.OK() {
+		t.Error("arabesque-like should fail (OOM/timeout) on MCF, as in Table 1")
+	}
+	gm := rows["g-miner"]
+	if !gm.Time.OK() {
+		t.Fatal("g-miner must succeed")
+	}
+	// G-Miner beats the vertex-centric engines clearly when they finish.
+	for _, sys := range []string{"giraph-like", "graphx-like"} {
+		if r := rows[sys]; r.Time.OK() && r.Time.Seconds < gm.Time.Seconds {
+			t.Errorf("%s (%0.3fs) unexpectedly beat g-miner (%0.3fs)", sys, r.Time.Seconds, gm.Time.Seconds)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both engines agree on counts (checked inside Table4); g-miner must
+	// use less network on the heavier datasets (BDG + RCV cache).
+	heavy := 0
+	gminerLessNet := 0
+	for _, r := range rows {
+		if !r.GMinerTime.OK() || !r.BatchTime.OK() {
+			t.Fatalf("%s: runs failed", r.Dataset)
+		}
+		if r.Matched == 0 {
+			t.Fatalf("%s: no matches", r.Dataset)
+		}
+		if r.Dataset == "orkut-s" || r.Dataset == "friendster-s" {
+			heavy++
+			if r.GMinerNetGB < r.BatchNetGB {
+				gminerLessNet++
+			}
+		}
+	}
+	if gminerLessNet < heavy {
+		t.Errorf("g-miner should move fewer bytes than gthinker-like on heavy datasets (%d/%d)", gminerLessNet, heavy)
+	}
+}
+
+func TestFigure56Shape(t *testing.T) {
+	res, err := Figure56(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline's signature: far fewer stalled intervals than the
+	// batch engine's compute/communicate sawtooth.
+	if res.GMinerStall >= res.GThinkerStall {
+		t.Errorf("g-miner stalls (%.2f) should be below gthinker-like (%.2f)",
+			res.GMinerStall, res.GThinkerStall)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	series, err := Figure7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		// Modeled time decreases monotonically with cores.
+		for i := 1; i < len(s.ModelSecs); i++ {
+			if s.ModelSecs[i] > s.ModelSecs[i-1]*1.01 {
+				t.Errorf("%s/%s: model not monotone: %v", s.App, s.Dataset, s.ModelSecs)
+				break
+			}
+		}
+		if s.COST == 0 {
+			t.Errorf("%s/%s: never beats single-thread (COST=0)", s.App, s.Dataset)
+		} else if s.COST > 12 {
+			t.Errorf("%s/%s: COST=%d far above the paper's 2-3", s.App, s.Dataset, s.COST)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rows, err := Figure13(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks must actually migrate on the skewed partitioning, and the
+	// calibrated-delay workload must show the load-balancing speedup
+	// (the CPU-bound runs cannot, on a work-conserving single core).
+	for _, ds := range []string{"orkut-s", "friendster-s"} {
+		var on, off float64
+		var stolen int64
+		for _, r := range rows {
+			if r.App != "delay-cal" || r.Dataset != ds {
+				continue
+			}
+			if r.Enabled {
+				on, stolen = r.JobSecs, r.Stolen
+			} else {
+				off = r.JobSecs
+			}
+		}
+		if stolen == 0 {
+			t.Errorf("%s: no tasks migrated with stealing enabled", ds)
+		}
+		if on >= off {
+			t.Errorf("%s: stealing did not speed up the calibrated workload: on=%.3f off=%.3f", ds, on, off)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 dataset rows, got %d", len(rows))
+	}
+	byName := map[string]int{}
+	for i, r := range rows {
+		byName[r.Name] = i
+		if r.V == 0 || r.E == 0 {
+			t.Fatalf("%s: empty dataset", r.Name)
+		}
+	}
+	// Table 2's relative ordering.
+	if rows[byName["friendster-s"]].E <= rows[byName["orkut-s"]].E {
+		t.Error("friendster-s must have the most edges")
+	}
+	if rows[byName["btc-s"]].V <= rows[byName["orkut-s"]].V {
+		t.Error("btc-s must have the most vertices")
+	}
+	if rows[byName["tencent-s"]].NumAttrs == 0 || rows[byName["dblp-s"]].NumAttrs == 0 {
+		t.Error("tencent-s/dblp-s must be attributed")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdWork, gcWork := 0, 0
+	for _, r := range rows {
+		if !r.CDTime.OK() {
+			t.Errorf("%s: CD failed", r.Dataset)
+		}
+		cdWork += r.CDRecords
+		if r.Dataset == "tencent-s" {
+			if !r.GCSkipped {
+				t.Error("tencent-s must be excluded from GC, as in the paper")
+			}
+			continue
+		}
+		if !r.GCTime.OK() {
+			t.Errorf("%s: GC failed", r.Dataset)
+		}
+		gcWork += r.GCRecords
+	}
+	if cdWork == 0 {
+		t.Error("CD found nothing anywhere")
+	}
+	if gcWork == 0 {
+		t.Error("GC found nothing anywhere")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	series, err := Figure8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.ModelSecs) != 6 {
+			t.Fatalf("%s: %d points", s.App, len(s.ModelSecs))
+		}
+		// Monotone non-increasing with threads.
+		for i := 1; i < len(s.ModelSecs); i++ {
+			if s.ModelSecs[i] > s.ModelSecs[i-1]*1.01 {
+				t.Errorf("%s: vertical model not monotone: %v", s.App, s.ModelSecs)
+				break
+			}
+		}
+	}
+	// The heavy workload (MCF) must show real speedup before saturating.
+	for _, s := range series {
+		if s.App == "mcf" && s.ModelSecs[0] < 2*s.ModelSecs[len(s.ModelSecs)-1] {
+			t.Errorf("mcf vertical speedup too small: %v", s.ModelSecs)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	series, err := Figure9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("want 4 series (2 apps × 2 thread counts), got %d", len(series))
+	}
+	for _, s := range series {
+		for _, v := range s.ModelSecs {
+			if v <= 0 {
+				t.Fatalf("%s: nonpositive model value %v", s.App, s.ModelSecs)
+			}
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	rows, err := Figure10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each engine × dataset × width present; every successful BSP run is
+	// slower than the corresponding batch-engine run (no exceptions seen
+	// in the paper's Figure 10 either).
+	if len(rows) != 2*4*4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byKey := map[string]Cell{}
+	for _, r := range rows {
+		byKey[r.Engine+"/"+r.Dataset+"/"+itoa(r.Workers)] = r.Time
+	}
+	for _, ds := range []string{"skitter-s", "orkut-s"} {
+		for _, w := range []int{5, 10, 15, 20} {
+			g := byKey["giraph-like/"+ds+"/"+itoa(w)]
+			b := byKey["gthinker-like/"+ds+"/"+itoa(w)]
+			if g.OK() && b.OK() && g.Seconds < b.Seconds {
+				t.Errorf("%s w=%d: giraph-like (%0.3f) beat gthinker-like (%0.3f)", ds, w, g.Seconds, b.Seconds)
+			}
+		}
+	}
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var b []byte
+	for x > 0 {
+		b = append([]byte{byte('0' + x%10)}, b...)
+		x /= 10
+	}
+	return string(b)
+}
+
+func TestFigure11Shape(t *testing.T) {
+	rows, err := Figure11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Partitioner == "bdg" {
+			if r.EdgeCut >= 0.70 {
+				t.Errorf("%s/%s: BDG edge cut %.2f not better than hash (~0.75)", r.App, r.Dataset, r.EdgeCut)
+			}
+			if r.PartitionSecs <= 0 {
+				t.Errorf("%s/%s: BDG partitioning time missing", r.App, r.Dataset)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"testing"
+
+	"gminer/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumVertices() != 100 {
+		t.Fatalf("V=%d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 300 {
+		t.Fatalf("E=%d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(RMATConfig{Scale: 8, Edges: 1000, Seed: 5})
+	b := RMAT(RMATConfig{Scale: 8, Edges: 1000, Seed: 5})
+	if a.NumEdges() != b.NumEdges() || a.MaxDegree() != b.MaxDegree() {
+		t.Fatal("RMAT not deterministic")
+	}
+	c := RMAT(RMATConfig{Scale: 8, Edges: 1000, Seed: 6})
+	if a.NumEdges() == c.NumEdges() && a.MaxDegree() == c.MaxDegree() &&
+		a.AvgDegree() == c.AvgDegree() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATHeavyTail(t *testing.T) {
+	g := RMAT(RMATConfig{Scale: 11, Edges: 20000, Seed: 7})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Power-law-ish: max degree far above average.
+	if float64(g.MaxDegree()) < 8*g.AvgDegree() {
+		t.Fatalf("no heavy tail: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestCommunityStructure(t *testing.T) {
+	g, truth := Community(CommunityConfig{
+		Communities: 10, MinSize: 8, MaxSize: 12, PIn: 0.6, Bridges: 50, Seed: 9,
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Attributed() {
+		t.Fatal("community graph must be attributed")
+	}
+	// Most edges must be intra-community.
+	var intra, inter int
+	g.ForEach(func(v *graph.Vertex) bool {
+		for _, u := range v.Adj {
+			if u > v.ID {
+				if truth[v.ID] == truth[u] {
+					intra++
+				} else {
+					inter++
+				}
+			}
+		}
+		return true
+	})
+	if intra <= 2*inter {
+		t.Fatalf("weak communities: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestAssignLabelsUniform(t *testing.T) {
+	g := RMAT(RMATConfig{Scale: 10, Edges: 3000, Seed: 11})
+	AssignLabels(g, 7, 13)
+	counts := make(map[int32]int)
+	g.ForEach(func(v *graph.Vertex) bool {
+		if v.Label < 0 || v.Label >= 7 {
+			t.Fatalf("label out of range: %d", v.Label)
+		}
+		counts[v.Label]++
+		return true
+	})
+	fair := g.NumVertices() / 7
+	for l, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Fatalf("label %d skewed: %d (fair %d)", l, c, fair)
+		}
+	}
+}
+
+func TestAssignAttrsRange(t *testing.T) {
+	g := RMAT(RMATConfig{Scale: 7, Edges: 300, Seed: 13})
+	AssignAttrs(g, 5, 10, 17)
+	g.ForEach(func(v *graph.Vertex) bool {
+		if len(v.Attrs) != 5 {
+			t.Fatalf("dim=%d", len(v.Attrs))
+		}
+		for _, a := range v.Attrs {
+			if a < 1 || a > 10 {
+				t.Fatalf("attr out of range: %d", a)
+			}
+		}
+		return true
+	})
+}
+
+func TestPresetsBuild(t *testing.T) {
+	for _, p := range Presets() {
+		g, err := Build(p, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty", p)
+		}
+	}
+}
+
+func TestPresetRelativeOrdering(t *testing.T) {
+	// Table 2's relative shape: friendster has the most edges of the
+	// non-attributed set; btc has the most vertices and smallest avg deg.
+	sizes := map[Preset]graph.Stats{}
+	for _, p := range NonAttributed() {
+		g := MustBuild(p, 0.25)
+		sizes[p] = graph.ComputeStats(string(p), g)
+	}
+	if sizes[Friendster].E <= sizes[Orkut].E || sizes[Orkut].E <= sizes[Skitter].E {
+		t.Fatalf("edge ordering wrong: %v", sizes)
+	}
+	if sizes[BTC].V <= sizes[Orkut].V {
+		t.Fatalf("btc should have most vertices: %v", sizes)
+	}
+	if sizes[BTC].AvgDeg >= sizes[Orkut].AvgDeg {
+		t.Fatalf("btc should be sparsest: %v", sizes)
+	}
+}
+
+func TestPresetAttribution(t *testing.T) {
+	ten := MustBuild(Tencent, 0.1)
+	if !ten.Attributed() {
+		t.Fatal("tencent-s must be attributed")
+	}
+	dblp := MustBuild(DBLP, 0.1)
+	if !dblp.Attributed() {
+		t.Fatal("dblp-s must be attributed")
+	}
+	g, err := BuildLabeled(Skitter, 0.1)
+	if err != nil || !g.Labeled() {
+		t.Fatal("BuildLabeled failed")
+	}
+	g2, err := BuildAttributed(Orkut, 0.1)
+	if err != nil || !g2.Attributed() {
+		t.Fatal("BuildAttributed failed")
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	if _, err := Build(Preset("nope"), 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := RMAT(RMATConfig{Scale: 8, Edges: 1000, Seed: 19})
+	h := DegreeHistogram(g)
+	total := 0
+	prev := -1
+	for _, dc := range h {
+		if dc[0] <= prev {
+			t.Fatal("histogram not sorted")
+		}
+		prev = dc[0]
+		total += dc[1]
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("histogram covers %d of %d", total, g.NumVertices())
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(SmallWorldConfig{N: 200, K: 6, Beta: 0.1, Seed: 21})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 200 {
+		t.Fatalf("V=%d", g.NumVertices())
+	}
+	// Ring lattice degree ~K with small variance from rewiring.
+	if g.AvgDegree() < 4 || g.AvgDegree() > 7 {
+		t.Fatalf("avg degree %.2f not near K=6", g.AvgDegree())
+	}
+	// Small-world: max degree stays modest (no power-law hubs).
+	if g.MaxDegree() > 20 {
+		t.Fatalf("unexpected hub: max degree %d", g.MaxDegree())
+	}
+}
+
+func TestSmallWorldDegenerateParams(t *testing.T) {
+	g := SmallWorld(SmallWorldConfig{N: 2, K: 0, Beta: 2.0, Seed: 1})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 4 {
+		t.Fatal("minimum size not enforced")
+	}
+}

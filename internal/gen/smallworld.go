@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"math/rand"
+
+	"gminer/internal/graph"
+)
+
+// SmallWorldConfig controls the Watts–Strogatz small-world generator:
+// a ring lattice of n vertices each wired to its K nearest neighbors,
+// with every edge rewired to a random endpoint with probability Beta.
+// Small-world graphs stress the BDG partitioner differently from
+// power-law graphs: blocks are long arcs of the ring, and rewired edges
+// are the (rare) cut edges — a useful extra regime for partitioning and
+// cache experiments.
+type SmallWorldConfig struct {
+	N    int
+	K    int     // even; each vertex connects to K nearest ring neighbors
+	Beta float64 // rewiring probability
+	Seed int64
+}
+
+// SmallWorld generates a Watts–Strogatz graph.
+func SmallWorld(cfg SmallWorldConfig) *graph.Graph {
+	if cfg.N < 4 {
+		cfg.N = 4
+	}
+	if cfg.K < 2 {
+		cfg.K = 2
+	}
+	if cfg.K >= cfg.N {
+		cfg.K = cfg.N - 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		g.AddVertex(graph.VertexID(i))
+	}
+	for i := 0; i < cfg.N; i++ {
+		for j := 1; j <= cfg.K/2; j++ {
+			target := (i + j) % cfg.N
+			if rng.Float64() < cfg.Beta {
+				// Rewire to a uniform random endpoint (avoid self loops;
+				// duplicate edges are deduplicated by Freeze).
+				target = rng.Intn(cfg.N)
+				if target == i {
+					target = (i + 1) % cfg.N
+				}
+			}
+			g.AddEdge(graph.VertexID(i), graph.VertexID(target))
+		}
+	}
+	g.Freeze()
+	return g
+}

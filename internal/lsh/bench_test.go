@@ -1,0 +1,29 @@
+package lsh
+
+import "testing"
+
+func benchSign(b *testing.B, k, setSize int) {
+	s := NewSigner(k, 42)
+	set := make([]uint64, setSize)
+	for i := range set {
+		set[i] = uint64(i * 2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sign(set)
+	}
+}
+
+func BenchmarkSignK4Set16(b *testing.B)   { benchSign(b, 4, 16) }
+func BenchmarkSignK4Set256(b *testing.B)  { benchSign(b, 4, 256) }
+func BenchmarkSignK16Set256(b *testing.B) { benchSign(b, 16, 256) }
+
+func BenchmarkCompare(b *testing.B) {
+	s := NewSigner(4, 1)
+	x := s.Sign([]uint64{1, 2, 3})
+	y := s.Sign([]uint64{2, 3, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}

@@ -1,0 +1,62 @@
+package memctl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	if err := b.Charge(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 1<<40 || b.Peak() != 1<<40 {
+		t.Fatalf("used=%d peak=%d", b.Used(), b.Peak())
+	}
+}
+
+func TestOOM(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Charge(60)
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestReleaseRestores(t *testing.T) {
+	b := NewBudget(100)
+	_ = b.Charge(90)
+	b.Release(50)
+	if err := b.Charge(50); err != nil {
+		t.Fatalf("charge after release failed: %v", err)
+	}
+	if b.Peak() != 90 {
+		t.Fatalf("peak=%d", b.Peak())
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	b := NewBudget(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = b.Charge(3)
+				b.Release(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 0 {
+		t.Fatalf("used=%d", b.Used())
+	}
+	if b.Peak() < 3 {
+		t.Fatalf("peak=%d", b.Peak())
+	}
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := &Counters{}
+	c.AddBusy(time.Second)
+	c.AddNet(100)
+	c.AddNet(50)
+	c.AddDiskRead(10)
+	c.AddDiskWrite(20)
+	c.TaskDone()
+	c.EmitResult()
+	c.CacheHit()
+	c.CacheHit()
+	c.CacheMiss()
+	c.TaskStolen()
+	s := c.Snapshot()
+	if s.Busy != time.Second || s.NetBytes != 150 || s.NetMsgs != 2 ||
+		s.DiskRead != 10 || s.DiskWrite != 20 || s.TasksDone != 1 ||
+		s.Results != 1 || s.CacheHits != 2 || s.CacheMisses != 1 || s.Stolen != 1 {
+		t.Fatalf("snapshot wrong: %+v", s)
+	}
+	if s.CacheHitRate() < 0.66 || s.CacheHitRate() > 0.67 {
+		t.Fatalf("hit rate %f", s.CacheHitRate())
+	}
+}
+
+func TestLivePeak(t *testing.T) {
+	c := &Counters{}
+	c.AddLive(100)
+	c.AddLive(50)
+	c.AddLive(-120)
+	s := c.Snapshot()
+	if s.LiveBytes != 30 || s.PeakBytes != 150 {
+		t.Fatalf("live=%d peak=%d", s.LiveBytes, s.PeakBytes)
+	}
+	c.ObserveLive(500)
+	c.ObserveLive(10)
+	s = c.Snapshot()
+	if s.LiveBytes != 10 || s.PeakBytes != 500 {
+		t.Fatalf("observe: live=%d peak=%d", s.LiveBytes, s.PeakBytes)
+	}
+}
+
+func TestCPUUtil(t *testing.T) {
+	var s Snapshot
+	s.Busy = 2 * time.Second
+	if u := s.CPUUtil(time.Second, 4); u != 0.5 {
+		t.Fatalf("util=%f", u)
+	}
+	if u := s.CPUUtil(time.Second, 1); u != 1.0 { // clamped
+		t.Fatalf("clamp=%f", u)
+	}
+	if s.CPUUtil(0, 4) != 0 {
+		t.Fatal("zero elapsed")
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{Busy: time.Second, NetBytes: 10, TasksDone: 1}
+	b := Snapshot{Busy: time.Second, NetBytes: 5, TasksDone: 2}
+	sum := a.Add(b)
+	if sum.Busy != 2*time.Second || sum.NetBytes != 15 || sum.TasksDone != 3 {
+		t.Fatalf("%+v", sum)
+	}
+}
+
+func TestSamplerTimeline(t *testing.T) {
+	c1, c2 := &Counters{}, &Counters{}
+	s := NewSampler(2*time.Millisecond, 2, c1, c2)
+	s.Start()
+	for i := 0; i < 5; i++ {
+		c1.AddBusy(time.Millisecond)
+		c2.AddNet(1000)
+		time.Sleep(3 * time.Millisecond)
+	}
+	points := s.Stop()
+	if len(points) < 3 {
+		t.Fatalf("too few samples: %d", len(points))
+	}
+	var totalNet int64
+	anyCPU := false
+	for i, p := range points {
+		if i > 0 && p.At <= points[i-1].At {
+			t.Fatal("timeline not monotonic")
+		}
+		totalNet += p.NetBytes
+		if p.CPUUtil > 0 {
+			anyCPU = true
+		}
+		if p.CPUUtil < 0 || p.CPUUtil > 1 {
+			t.Fatalf("util out of range: %f", p.CPUUtil)
+		}
+	}
+	if totalNet == 0 || !anyCPU {
+		t.Fatalf("deltas missing: net=%d cpu=%v", totalNet, anyCPU)
+	}
+}
+
+func TestSamplerStopIdempotentish(t *testing.T) {
+	c := &Counters{}
+	s := NewSampler(time.Millisecond, 1, c)
+	s.Start()
+	time.Sleep(3 * time.Millisecond)
+	a := s.Stop()
+	b := s.Stop() // second stop must not panic and returns same data
+	if len(b) < len(a) {
+		t.Fatal("second stop lost points")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := &Counters{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddNet(1)
+				c.AddLive(1)
+				c.AddLive(-1)
+				c.TaskDone()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.NetBytes != 8000 || s.TasksDone != 8000 || s.LiveBytes != 0 {
+		t.Fatalf("%+v", s)
+	}
+}

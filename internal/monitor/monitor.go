@@ -1,0 +1,146 @@
+// Package monitor exposes a running job's progress over HTTP — the
+// operational view a cluster operator would have of the master's progress
+// table (§5.1's progress collector made visible). It serves JSON
+// snapshots of per-worker counters plus a plain-text summary, suitable
+// for curl, dashboards or scrapers.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"gminer/internal/metrics"
+)
+
+// Source is what the monitor samples: per-worker counters and job
+// metadata. cluster.Job satisfies this via a small adapter (see Attach).
+type Source interface {
+	// WorkerSnapshots returns one snapshot per worker.
+	WorkerSnapshots() []metrics.Snapshot
+	// Done reports whether the job has terminated.
+	Done() bool
+}
+
+// Status is the JSON document served at /status.
+type Status struct {
+	Uptime  string         `json:"uptime"`
+	Done    bool           `json:"done"`
+	Workers []WorkerStatus `json:"workers"`
+	Totals  WorkerStatus   `json:"totals"`
+}
+
+// WorkerStatus is one worker's externally visible state.
+type WorkerStatus struct {
+	Worker      int     `json:"worker"`
+	BusySeconds float64 `json:"busy_seconds"`
+	NetBytes    int64   `json:"net_bytes"`
+	DiskBytes   int64   `json:"disk_bytes"`
+	TasksDone   int64   `json:"tasks_done"`
+	Results     int64   `json:"results"`
+	CacheHit    float64 `json:"cache_hit_rate"`
+	Stolen      int64   `json:"tasks_stolen"`
+}
+
+// Server serves job status over HTTP.
+type Server struct {
+	src   Source
+	start time.Time
+
+	mu  sync.Mutex
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New creates a monitor server over src.
+func New(src Source) *Server {
+	return &Server{src: src, start: time.Now()}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Stop.
+// Returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/", s.handleText)
+	srv := &http.Server{Handler: mux}
+	s.mu.Lock()
+	s.srv = srv
+	s.ln = ln
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv != nil {
+		_ = s.srv.Close()
+		s.srv = nil
+	}
+}
+
+func (s *Server) status() Status {
+	snaps := s.src.WorkerSnapshots()
+	st := Status{
+		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
+		Done:   s.src.Done(),
+	}
+	var total metrics.Snapshot
+	for i, snap := range snaps {
+		st.Workers = append(st.Workers, workerStatus(i, snap))
+		total = total.Add(snap)
+	}
+	st.Totals = workerStatus(-1, total)
+	return st
+}
+
+func workerStatus(i int, s metrics.Snapshot) WorkerStatus {
+	return WorkerStatus{
+		Worker:      i,
+		BusySeconds: s.Busy.Seconds(),
+		NetBytes:    s.NetBytes,
+		DiskBytes:   s.DiskRead + s.DiskWrite,
+		TasksDone:   s.TasksDone,
+		Results:     s.Results,
+		CacheHit:    s.CacheHitRate(),
+		Stolen:      s.Stolen,
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.src.Done() {
+		fmt.Fprintln(w, "done")
+		return
+	}
+	fmt.Fprintln(w, "running")
+}
+
+func (s *Server) handleText(w http.ResponseWriter, r *http.Request) {
+	st := s.status()
+	fmt.Fprintf(w, "gminer job — uptime %s done=%v\n", st.Uptime, st.Done)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %8s\n",
+		"worker", "busy(s)", "net(B)", "tasks", "results", "stolen")
+	for _, ws := range st.Workers {
+		fmt.Fprintf(w, "%-8d %12.3f %12d %12d %10d %8d\n",
+			ws.Worker, ws.BusySeconds, ws.NetBytes, ws.TasksDone, ws.Results, ws.Stolen)
+	}
+	t := st.Totals
+	fmt.Fprintf(w, "%-8s %12.3f %12d %12d %10d %8d\n",
+		"total", t.BusySeconds, t.NetBytes, t.TasksDone, t.Results, t.Stolen)
+}

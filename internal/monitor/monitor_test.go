@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gminer/internal/metrics"
+)
+
+type fakeSource struct {
+	snaps []metrics.Snapshot
+	done  bool
+}
+
+func (f *fakeSource) WorkerSnapshots() []metrics.Snapshot { return f.snaps }
+func (f *fakeSource) Done() bool                          { return f.done }
+
+func startServer(t *testing.T, src Source) (*Server, string) {
+	t.Helper()
+	s := New(src)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s, addr
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestStatusJSON(t *testing.T) {
+	src := &fakeSource{snaps: []metrics.Snapshot{
+		{Busy: time.Second, NetBytes: 100, TasksDone: 5},
+		{Busy: 2 * time.Second, NetBytes: 200, TasksDone: 7},
+	}}
+	_, addr := startServer(t, src)
+	var st Status
+	if err := json.Unmarshal([]byte(get(t, "http://"+addr+"/status")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Workers) != 2 || st.Done {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Totals.TasksDone != 12 || st.Totals.NetBytes != 300 {
+		t.Fatalf("totals: %+v", st.Totals)
+	}
+	if st.Workers[1].BusySeconds != 2.0 {
+		t.Fatalf("worker 1: %+v", st.Workers[1])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	src := &fakeSource{}
+	_, addr := startServer(t, src)
+	if got := get(t, "http://"+addr+"/healthz"); !strings.Contains(got, "running") {
+		t.Fatalf("healthz: %q", got)
+	}
+	src.done = true
+	if got := get(t, "http://"+addr+"/healthz"); !strings.Contains(got, "done") {
+		t.Fatalf("healthz after done: %q", got)
+	}
+}
+
+func TestTextSummary(t *testing.T) {
+	src := &fakeSource{snaps: []metrics.Snapshot{{TasksDone: 3}}}
+	_, addr := startServer(t, src)
+	got := get(t, "http://"+addr+"/")
+	if !strings.Contains(got, "worker") || !strings.Contains(got, "total") {
+		t.Fatalf("text: %q", got)
+	}
+}
+
+func TestStopClosesListener(t *testing.T) {
+	s, addr := startServer(t, &fakeSource{})
+	s.Stop()
+	if _, err := http.Get("http://" + addr + "/status"); err == nil {
+		t.Fatal("server still reachable after Stop")
+	}
+}

@@ -1,0 +1,36 @@
+package partition
+
+import (
+	"testing"
+
+	"gminer/internal/gen"
+)
+
+func BenchmarkHashPartition(b *testing.B) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 12, Edges: 40000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Hash{}).Partition(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBDGPartition(b *testing.B) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 12, Edges: 40000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (BDG{Seed: int64(i)}).Partition(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeCut(b *testing.B) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 12, Edges: 40000, Seed: 1})
+	a, _ := BDG{}.Partition(g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.EdgeCut(g)
+	}
+}

@@ -1,0 +1,93 @@
+package spill
+
+import (
+	"bytes"
+	"testing"
+
+	"gminer/internal/metrics"
+)
+
+func TestMemoryModeRoundTrip(t *testing.T) {
+	s, err := New("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Write([]byte("block data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil || string(got) != "block data" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	s.Free(id)
+	if _, err := s.Read(id); err == nil {
+		t.Fatal("read after free should fail")
+	}
+}
+
+func TestFileModeRoundTrip(t *testing.T) {
+	s, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	id, err := s.Write(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("file round trip broken: %v", err)
+	}
+	s.Free(id)
+	if _, err := s.Read(id); err == nil {
+		t.Fatal("read after free should fail")
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	s, _ := New("", nil)
+	a, _ := s.Write([]byte("a"))
+	b, _ := s.Write([]byte("b"))
+	if a == b {
+		t.Fatal("ids collide")
+	}
+	ga, _ := s.Read(a)
+	gb, _ := s.Read(b)
+	if string(ga) != "a" || string(gb) != "b" {
+		t.Fatal("contents crossed")
+	}
+}
+
+func TestWriteDoesNotAliasCaller(t *testing.T) {
+	s, _ := New("", nil)
+	buf := []byte("mutable")
+	id, _ := s.Write(buf)
+	buf[0] = 'X'
+	got, _ := s.Read(id)
+	if string(got) != "mutable" {
+		t.Fatal("spiller aliased caller buffer")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	c := &metrics.Counters{}
+	s, _ := New("", c)
+	id, _ := s.Write(make([]byte, 100))
+	_, _ = s.Read(id)
+	snap := c.Snapshot()
+	if snap.DiskWrite != 100 || snap.DiskRead != 100 {
+		t.Fatalf("accounting: %+v", snap)
+	}
+}
+
+func TestClose(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir, nil)
+	id, _ := s.Write([]byte("x"))
+	s.Close()
+	if _, err := s.Read(id); err == nil {
+		t.Fatal("read after close should fail")
+	}
+}

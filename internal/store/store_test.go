@@ -1,0 +1,282 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/metrics"
+	"gminer/internal/spill"
+)
+
+func newStore(t *testing.T, cfg Config, dir string) *Store {
+	t.Helper()
+	sp, err := spill.New(dir, &metrics.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg, core.NoContext{}, sp, &metrics.Counters{})
+}
+
+func mkTask(id uint64, pulls ...graph.VertexID) *core.Task {
+	t := &core.Task{ID: id}
+	t.Subgraph.AddVertex(graph.VertexID(id))
+	t.Cands = pulls
+	t.ToPull = pulls
+	return t
+}
+
+func TestInsertPopFIFOWithoutLSH(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 100, LSHDims: 0}, "")
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Insert([]*core.Task{mkTask(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 5; i++ {
+		task, ok := s.TryPop()
+		if !ok || task.ID != i {
+			t.Fatalf("pop %d: got %+v ok=%v", i, task, ok)
+		}
+	}
+	if _, ok := s.TryPop(); ok {
+		t.Fatal("store should be empty")
+	}
+}
+
+func TestLSHGroupsSimilarTasks(t *testing.T) {
+	// The Figure 3 property: tasks sharing remote candidates come out
+	// adjacent. Two families of tasks with disjoint to_pull sets must not
+	// interleave more than a few times.
+	s := newStore(t, Config{MemCapacity: 1000, LSHDims: 4, Seed: 7}, "")
+	famA := []graph.VertexID{1000, 1001, 1002, 1003}
+	famB := []graph.VertexID{2000, 2001, 2002, 2003}
+	var tasks []*core.Task
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			tasks = append(tasks, mkTask(uint64(i), famA...))
+		} else {
+			tasks = append(tasks, mkTask(uint64(i), famB...))
+		}
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(tasks), func(i, j int) {
+		tasks[i], tasks[j] = tasks[j], tasks[i]
+	})
+	if err := s.Insert(tasks); err != nil {
+		t.Fatal(err)
+	}
+	switches := 0
+	var prev graph.VertexID = -1
+	for {
+		task, ok := s.TryPop()
+		if !ok {
+			break
+		}
+		fam := task.ToPull[0]
+		if prev != -1 && fam != prev {
+			switches++
+		}
+		prev = fam
+	}
+	if switches > 1 {
+		t.Fatalf("families interleaved %d times; LSH ordering broken", switches)
+	}
+}
+
+func TestSpillAndReload(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 8, BlockCapacity: 4, LSHDims: 4}, t.TempDir())
+	var want []uint64
+	var batch []*core.Task
+	for i := uint64(0); i < 50; i++ {
+		batch = append(batch, mkTask(i, graph.VertexID(i%7+100)))
+		want = append(want, i)
+	}
+	if err := s.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	if s.SpilledBlocks() == 0 {
+		t.Fatal("expected disk blocks")
+	}
+	if s.Size() != 50 {
+		t.Fatalf("size=%d", s.Size())
+	}
+	var got []uint64
+	for {
+		task, ok := s.TryPop()
+		if !ok {
+			break
+		}
+		got = append(got, task.ID)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != len(want) {
+		t.Fatalf("lost tasks: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("task set mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemoryBounded(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 16, BlockCapacity: 8, LSHDims: 4}, "")
+	var batch []*core.Task
+	for i := uint64(0); i < 500; i++ {
+		batch = append(batch, mkTask(i, graph.VertexID(i)))
+	}
+	if err := s.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	// In-memory head must stay within ~MemCapacity tasks.
+	perTask := mkTask(0, 1).FootprintBytes()
+	if s.MemBytes() > 20*perTask {
+		t.Fatalf("head not bounded: %d bytes (%d/task)", s.MemBytes(), perTask)
+	}
+}
+
+func TestStealTakesFromTail(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 100, LSHDims: 0}, "")
+	for i := uint64(0); i < 10; i++ {
+		_ = s.Insert([]*core.Task{mkTask(i)})
+	}
+	stolen := s.Steal(3, nil)
+	if len(stolen) != 3 {
+		t.Fatalf("stole %d", len(stolen))
+	}
+	// FIFO keys: the tail holds the newest tasks.
+	for _, task := range stolen {
+		if task.ID < 7 {
+			t.Fatalf("stole from head: task %d", task.ID)
+		}
+	}
+	if s.Size() != 7 {
+		t.Fatalf("size=%d", s.Size())
+	}
+}
+
+func TestStealRespectsEligibility(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 100, LSHDims: 0}, "")
+	for i := uint64(0); i < 10; i++ {
+		_ = s.Insert([]*core.Task{mkTask(i)})
+	}
+	stolen := s.Steal(10, func(t *core.Task) bool { return t.ID%2 == 0 })
+	if len(stolen) != 5 {
+		t.Fatalf("stole %d, want 5", len(stolen))
+	}
+	for _, task := range stolen {
+		if task.ID%2 != 0 {
+			t.Fatalf("ineligible task stolen: %d", task.ID)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 4, BlockCapacity: 2, LSHDims: 4}, t.TempDir())
+	var batch []*core.Task
+	for i := uint64(0); i < 20; i++ {
+		batch = append(batch, mkTask(i, graph.VertexID(300+i%5)))
+	}
+	_ = s.Insert(batch)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot must not consume the store.
+	if s.Size() != 20 {
+		t.Fatalf("snapshot drained the store: %d", s.Size())
+	}
+	tasks, err := DecodeSnapshot(snap, core.NoContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 20 {
+		t.Fatalf("restored %d tasks", len(tasks))
+	}
+	seen := map[uint64]bool{}
+	for _, task := range tasks {
+		seen[task.ID] = true
+	}
+	for i := uint64(0); i < 20; i++ {
+		if !seen[i] {
+			t.Fatalf("task %d missing from snapshot", i)
+		}
+	}
+}
+
+func TestPopWaitBlocksAndCloseReleases(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 4}, "")
+	done := make(chan bool)
+	go func() {
+		_, ok := s.PopWait()
+		done <- ok
+	}()
+	s.Close()
+	if ok := <-done; ok {
+		t.Fatal("PopWait should return false after Close")
+	}
+}
+
+func TestConcurrentInsertPop(t *testing.T) {
+	s := newStore(t, Config{MemCapacity: 32, BlockCapacity: 16, LSHDims: 4}, "")
+	const n = 400
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			_ = s.Insert([]*core.Task{mkTask(i, graph.VertexID(i%13))})
+		}
+	}()
+	got := 0
+	for got < n {
+		if _, ok := s.TryPop(); ok {
+			got++
+		}
+	}
+	wg.Wait()
+	if s.Size() != 0 {
+		t.Fatalf("leftover %d", s.Size())
+	}
+}
+
+// Property: insert-then-drain preserves the multiset of task IDs for any
+// batch structure and any spill pressure.
+func TestQuickNoTaskLoss(t *testing.T) {
+	f := func(seeds []uint16, memCap8 uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		cfg := Config{MemCapacity: int(memCap8%16) + 2, BlockCapacity: 2, LSHDims: 4}
+		sp, _ := spill.New("", nil)
+		s := New(cfg, core.NoContext{}, sp, nil)
+		want := map[uint64]int{}
+		for i, x := range seeds {
+			task := mkTask(uint64(i), graph.VertexID(x%97))
+			want[task.ID]++
+			if s.Insert([]*core.Task{task}) != nil {
+				return false
+			}
+		}
+		tasks, err := s.Drain()
+		if err != nil || len(tasks) != len(seeds) {
+			return false
+		}
+		for _, task := range tasks {
+			want[task.ID]--
+		}
+		for _, c := range want {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

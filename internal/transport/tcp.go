@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gminer/internal/metrics"
+)
+
+// TCPNetwork runs the same message protocol over real loopback TCP
+// sockets: every node listens on 127.0.0.1 and lazily dials persistent
+// connections to peers. Frames are length-prefixed:
+//
+//	[4B big-endian frame length][1B type][4B from][payload]
+//
+// This transport exists to demonstrate the engine is transport-agnostic;
+// the evaluation uses LocalNetwork for determinism.
+type TCPNetwork struct {
+	nodes    int
+	counters []*metrics.Counters
+
+	mu        sync.Mutex
+	addrs     []string
+	listeners []net.Listener
+	endpoints []*tcpEndpoint
+	closed    bool
+}
+
+// NewTCP starts listeners for `nodes` endpoints on ephemeral loopback
+// ports. counters may be nil or hold one sink per node.
+func NewTCP(nodes int, counters []*metrics.Counters) (*TCPNetwork, error) {
+	n := &TCPNetwork{
+		nodes:     nodes,
+		counters:  counters,
+		addrs:     make([]string, nodes),
+		listeners: make([]net.Listener, nodes),
+		endpoints: make([]*tcpEndpoint, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("transport: listen node %d: %w", i, err)
+		}
+		n.listeners[i] = l
+		n.addrs[i] = l.Addr().String()
+		ep := &tcpEndpoint{net: n, node: i, box: newMailbox(), conns: make(map[int]net.Conn)}
+		n.endpoints[i] = ep
+		go ep.acceptLoop(l)
+	}
+	return n, nil
+}
+
+// Endpoint returns node i's endpoint.
+func (n *TCPNetwork) Endpoint(node int) Endpoint { return n.endpoints[node] }
+
+// Close shuts down all listeners, connections and mailboxes.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	for _, l := range n.listeners {
+		if l != nil {
+			_ = l.Close()
+		}
+	}
+	for _, ep := range n.endpoints {
+		if ep != nil {
+			ep.close()
+		}
+	}
+}
+
+type tcpEndpoint struct {
+	net  *TCPNetwork
+	node int
+	box  *mailbox
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn // outbound, by peer
+	closed bool
+}
+
+func (e *tcpEndpoint) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		frameLen := binary.BigEndian.Uint32(hdr[:])
+		if frameLen < 5 || frameLen > 1<<30 {
+			return
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		typ := frame[0]
+		from := int(int32(binary.BigEndian.Uint32(frame[1:5])))
+		e.box.push(Message{From: from, To: e.node, Type: typ, Payload: frame[5:]}, time.Time{})
+	}
+}
+
+func (e *tcpEndpoint) Send(to int, typ uint8, payload []byte) error {
+	if to < 0 || to >= e.net.nodes {
+		return fmt.Errorf("transport: invalid destination node %d", to)
+	}
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+5+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(5+len(payload)))
+	frame[4] = typ
+	binary.BigEndian.PutUint32(frame[5:9], uint32(int32(e.node)))
+	copy(frame[9:], payload)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		delete(e.conns, to)
+		return fmt.Errorf("transport: send to node %d: %w", to, err)
+	}
+	if e.net.counters != nil && e.node < len(e.net.counters) && e.net.counters[e.node] != nil {
+		e.net.counters[e.node].AddNet(int64(len(frame)))
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) conn(to int) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("transport: endpoint %d closed", e.node)
+	}
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.DialTimeout("tcp", e.net.addrs[to], 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) Recv() (Message, bool) { return e.box.pop(time.Time{}) }
+
+func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, bool) {
+	return e.box.pop(time.Now().Add(d))
+}
+
+func (e *tcpEndpoint) Node() int { return e.node }
+
+func (e *tcpEndpoint) Close() error {
+	e.close()
+	return nil
+}
+
+func (e *tcpEndpoint) close() {
+	e.mu.Lock()
+	e.closed = true
+	for _, c := range e.conns {
+		_ = c.Close()
+	}
+	e.conns = map[int]net.Conn{}
+	e.mu.Unlock()
+	e.box.close()
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gminer/internal/metrics"
+)
+
+func TestLocalSendRecv(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 3})
+	defer n.Close()
+	a, b := n.Endpoint(0), n.Endpoint(1)
+	if err := a.Send(1, 7, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := b.Recv()
+	if !ok || m.From != 0 || m.To != 1 || m.Type != 7 || string(m.Payload) != "ping" {
+		t.Fatalf("got %+v ok=%v", m, ok)
+	}
+}
+
+func TestLocalPayloadCopied(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 2})
+	defer n.Close()
+	buf := []byte("abc")
+	_ = n.Endpoint(0).Send(1, 1, buf)
+	buf[0] = 'X' // sender reuses the buffer
+	m, _ := n.Endpoint(1).Recv()
+	if string(m.Payload) != "abc" {
+		t.Fatal("payload aliased sender buffer")
+	}
+}
+
+func TestLocalOrderingPerSender(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 2})
+	defer n.Close()
+	ep := n.Endpoint(0)
+	for i := 0; i < 100; i++ {
+		_ = ep.Send(1, 1, []byte{byte(i)})
+	}
+	rx := n.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		m, ok := rx.Recv()
+		if !ok || m.Payload[0] != byte(i) {
+			t.Fatalf("message %d out of order: %v", i, m.Payload)
+		}
+	}
+}
+
+func TestLocalRecvTimeout(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 1})
+	defer n.Close()
+	start := time.Now()
+	_, ok := n.Endpoint(0).RecvTimeout(5 * time.Millisecond)
+	if ok {
+		t.Fatal("unexpected message")
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("timeout returned early")
+	}
+}
+
+func TestLocalLatency(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 2, Latency: 10 * time.Millisecond})
+	defer n.Close()
+	start := time.Now()
+	_ = n.Endpoint(0).Send(1, 1, nil)
+	_, ok := n.Endpoint(1).Recv()
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	if d := time.Since(start); d < 9*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}
+
+func TestLocalBandwidth(t *testing.T) {
+	// 1 MB at 10 MB/s must take >= ~90ms.
+	n := NewLocal(LocalConfig{Nodes: 2, BandwidthBps: 10 << 20})
+	defer n.Close()
+	start := time.Now()
+	_ = n.Endpoint(0).Send(1, 1, make([]byte, 1<<20))
+	_, _ = n.Endpoint(1).Recv()
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("bandwidth not simulated: %v", d)
+	}
+}
+
+func TestLocalByteAccounting(t *testing.T) {
+	cs := []*metrics.Counters{{}, {}}
+	n := NewLocal(LocalConfig{Nodes: 2, Counters: cs})
+	defer n.Close()
+	_ = n.Endpoint(0).Send(1, 1, make([]byte, 100))
+	snap := cs[0].Snapshot()
+	if snap.NetBytes < 100 || snap.NetMsgs != 1 {
+		t.Fatalf("accounting: %+v", snap)
+	}
+	if cs[1].Snapshot().NetBytes != 0 {
+		t.Fatal("receiver charged for send")
+	}
+}
+
+func TestLocalReset(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 2})
+	defer n.Close()
+	_ = n.Endpoint(0).Send(1, 1, []byte("lost"))
+	recvDone := make(chan bool)
+	go func() {
+		// Drain the first message, then block on the second Recv.
+		n.Endpoint(1).Recv()
+		_, ok := n.Endpoint(1).Recv()
+		recvDone <- ok
+	}()
+	time.Sleep(2 * time.Millisecond)
+	n.Reset(1) // old blocked Recv unblocks with ok=false
+	select {
+	case ok := <-recvDone:
+		if ok {
+			t.Fatal("old receiver got a message after reset")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("old receiver never unblocked")
+	}
+	// New mailbox works.
+	_ = n.Endpoint(0).Send(1, 1, []byte("fresh"))
+	m, ok := n.Endpoint(1).Recv()
+	if !ok || string(m.Payload) != "fresh" {
+		t.Fatalf("post-reset delivery broken: %+v", m)
+	}
+}
+
+func TestLocalInvalidDestination(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 2})
+	defer n.Close()
+	if err := n.Endpoint(0).Send(5, 1, nil); err == nil {
+		t.Fatal("expected error for invalid node")
+	}
+}
+
+func TestLocalConcurrentSenders(t *testing.T) {
+	n := NewLocal(LocalConfig{Nodes: 4})
+	defer n.Close()
+	const per = 200
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ep := n.Endpoint(s)
+			for i := 0; i < per; i++ {
+				_ = ep.Send(3, 1, []byte(fmt.Sprintf("%d-%d", s, i)))
+			}
+		}(s)
+	}
+	rx := n.Endpoint(3)
+	got := 0
+	for got < 3*per {
+		if _, ok := rx.Recv(); !ok {
+			t.Fatal("recv failed")
+		}
+		got++
+	}
+	wg.Wait()
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	n, err := NewTCP(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Endpoint(0).Send(2, 9, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := n.Endpoint(2).RecvTimeout(2 * time.Second)
+	if !ok || m.From != 0 || m.Type != 9 || string(m.Payload) != "over tcp" {
+		t.Fatalf("got %+v ok=%v", m, ok)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	_ = n.Endpoint(0).Send(1, 1, []byte("hi"))
+	m, _ := n.Endpoint(1).RecvTimeout(2 * time.Second)
+	_ = n.Endpoint(1).Send(0, 2, append([]byte("re:"), m.Payload...))
+	m2, ok := n.Endpoint(0).RecvTimeout(2 * time.Second)
+	if !ok || string(m2.Payload) != "re:hi" {
+		t.Fatalf("got %+v", m2)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	_ = n.Endpoint(0).Send(1, 1, payload)
+	m, ok := n.Endpoint(1).RecvTimeout(5 * time.Second)
+	if !ok || len(m.Payload) != len(payload) {
+		t.Fatalf("len=%d", len(m.Payload))
+	}
+	for i := range payload {
+		if m.Payload[i] != payload[i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}
+
+func TestTCPByteAccounting(t *testing.T) {
+	cs := []*metrics.Counters{{}, {}}
+	n, err := NewTCP(2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	_ = n.Endpoint(0).Send(1, 1, make([]byte, 256))
+	n.Endpoint(1).RecvTimeout(2 * time.Second)
+	if cs[0].Snapshot().NetBytes < 256 {
+		t.Fatal("tcp bytes not counted")
+	}
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"testing"
+
+	"gminer/internal/graph"
+)
+
+func benchVertex(deg int) *graph.Vertex {
+	v := &graph.Vertex{ID: 123456, Label: 3, Attrs: []int32{1, 2, 3, 4, 5}}
+	for i := 0; i < deg; i++ {
+		v.Adj = append(v.Adj, graph.VertexID(1000+i*3))
+	}
+	return v
+}
+
+func BenchmarkEncodeVertexDeg32(b *testing.B) {
+	v := benchVertex(32)
+	w := NewWriter(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		EncodeVertex(w, v)
+	}
+	b.SetBytes(int64(w.Len()))
+}
+
+func BenchmarkDecodeVertexDeg32(b *testing.B) {
+	v := benchVertex(32)
+	w := NewWriter(512)
+	EncodeVertex(w, v)
+	buf := w.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if DecodeVertex(NewReader(buf)) == nil {
+			b.Fatal("decode failed")
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkEncodeIDs(b *testing.B) {
+	ids := make([]graph.VertexID, 256)
+	for i := range ids {
+		ids[i] = graph.VertexID(i * 17)
+	}
+	w := NewWriter(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		EncodeIDs(w, ids)
+	}
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"gminer/internal/graph"
+)
+
+// EncodeVertex appends a vertex (id, label, attrs, adjacency) to w. This is
+// the payload of a pull response: the paper pulls "v with the associated
+// data (e.g., Γ(v), a(v))" from remote machines (§4.2).
+func EncodeVertex(w *Writer, v *graph.Vertex) {
+	w.Varint(int64(v.ID))
+	w.Varint(int64(v.Label))
+	w.Int32Slice(v.Attrs)
+	adj := make([]int64, len(v.Adj))
+	for i, n := range v.Adj {
+		adj[i] = int64(n)
+	}
+	w.Int64Slice(adj)
+}
+
+// DecodeVertex reads a vertex encoded by EncodeVertex.
+func DecodeVertex(r *Reader) *graph.Vertex {
+	v := &graph.Vertex{
+		ID:    graph.VertexID(r.Varint()),
+		Label: int32(r.Varint()),
+	}
+	v.Attrs = r.Int32Slice()
+	adj := r.Int64Slice()
+	if len(adj) > 0 {
+		v.Adj = make([]graph.VertexID, len(adj))
+		for i, n := range adj {
+			v.Adj[i] = graph.VertexID(n)
+		}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return v
+}
+
+// EncodeIDs appends a slice of vertex IDs (delta varints).
+func EncodeIDs(w *Writer, ids []graph.VertexID) {
+	xs := make([]int64, len(ids))
+	for i, id := range ids {
+		xs[i] = int64(id)
+	}
+	w.Int64Slice(xs)
+}
+
+// DecodeIDs reads a slice written by EncodeIDs.
+func DecodeIDs(r *Reader) []graph.VertexID {
+	xs := r.Int64Slice()
+	if xs == nil {
+		return nil
+	}
+	ids := make([]graph.VertexID, len(xs))
+	for i, x := range xs {
+		ids[i] = graph.VertexID(x)
+	}
+	return ids
+}

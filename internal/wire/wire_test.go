@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gminer/internal/graph"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-1)
+	w.Varint(math.MinInt64)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Byte(0xAB)
+	w.Float64(3.14159)
+	w.String("hello")
+	w.BytesField([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if r.Uvarint() != 0 || r.Uvarint() != math.MaxUint64 {
+		t.Fatal("uvarint")
+	}
+	if r.Varint() != -1 || r.Varint() != math.MinInt64 {
+		t.Fatal("varint")
+	}
+	if r.Int() != 42 || !r.Bool() || r.Bool() || r.Byte() != 0xAB {
+		t.Fatal("int/bool/byte")
+	}
+	if r.Float64() != 3.14159 {
+		t.Fatal("float64")
+	}
+	if r.String() != "hello" {
+		t.Fatal("string")
+	}
+	if !reflect.DeepEqual(r.BytesField(), []byte{1, 2, 3}) {
+		t.Fatal("bytes")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	xs := []int64{5, -3, 5, 100, math.MaxInt64, math.MinInt64}
+	w.Int64Slice(xs)
+	ys := []int32{-1, 0, 1, math.MaxInt32}
+	w.Int32Slice(ys)
+	r := NewReader(w.Bytes())
+	if got := r.Int64Slice(); !reflect.DeepEqual(got, xs) {
+		t.Fatalf("int64: %v", got)
+	}
+	if got := r.Int32Slice(); !reflect.DeepEqual(got, ys) {
+		t.Fatalf("int32: %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	w := NewWriter(8)
+	w.Int64Slice(nil)
+	w.Int32Slice(nil)
+	r := NewReader(w.Bytes())
+	if got := r.Int64Slice(); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := r.Int32Slice(); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	// Truncated buffers must produce ErrCorrupt, never panic.
+	w := NewWriter(64)
+	w.String("a long enough string")
+	w.Int64Slice([]int64{1, 2, 3})
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.String()
+		_ = r.Int64Slice()
+		_ = r.Float64()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestSliceLengthBomb(t *testing.T) {
+	// A huge declared length with a tiny buffer must fail, not allocate.
+	w := NewWriter(16)
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if r.Int64Slice() != nil || r.Err() == nil {
+		t.Fatal("length bomb not rejected")
+	}
+	r2 := NewReader(w.Bytes())
+	if r2.BytesField() != nil || r2.Err() == nil {
+		t.Fatal("bytes length bomb not rejected")
+	}
+}
+
+func TestVertexRoundTrip(t *testing.T) {
+	v := &graph.Vertex{
+		ID:    12345,
+		Label: 6,
+		Attrs: []int32{1, 5, 9},
+		Adj:   []graph.VertexID{1, 2, 99, 12344},
+	}
+	w := NewWriter(64)
+	EncodeVertex(w, v)
+	got := DecodeVertex(NewReader(w.Bytes()))
+	if got == nil || !reflect.DeepEqual(got, v) {
+		t.Fatalf("got %+v want %+v", got, v)
+	}
+}
+
+func TestVertexNoAttrs(t *testing.T) {
+	v := &graph.Vertex{ID: 7, Label: graph.NoLabel}
+	w := NewWriter(16)
+	EncodeVertex(w, v)
+	got := DecodeVertex(NewReader(w.Bytes()))
+	if got.ID != 7 || got.Label != graph.NoLabel || len(got.Adj) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestQuickScalars(t *testing.T) {
+	f := func(u uint64, i int64, f64 float64, s string, b []byte) bool {
+		w := NewWriter(32)
+		w.Uvarint(u)
+		w.Varint(i)
+		w.Float64(f64)
+		w.String(s)
+		w.BytesField(b)
+		r := NewReader(w.Bytes())
+		gu := r.Uvarint()
+		gi := r.Varint()
+		gf := r.Float64()
+		gs := r.String()
+		gb := r.BytesField()
+		if r.Err() != nil {
+			return false
+		}
+		sameF := gf == f64 || (math.IsNaN(gf) && math.IsNaN(f64))
+		return gu == u && gi == i && sameF && gs == s &&
+			(len(gb) == 0 && len(b) == 0 || reflect.DeepEqual(gb, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIDSlices(t *testing.T) {
+	f := func(raw []int64) bool {
+		ids := make([]graph.VertexID, len(raw))
+		for i, x := range raw {
+			ids[i] = graph.VertexID(x)
+		}
+		w := NewWriter(32)
+		EncodeIDs(w, ids)
+		got := DecodeIDs(NewReader(w.Bytes()))
+		if len(ids) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, ids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

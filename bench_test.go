@@ -17,6 +17,7 @@ import (
 	"gminer/internal/cluster"
 	"gminer/internal/exp"
 	"gminer/internal/gen"
+	"gminer/internal/trace"
 )
 
 // benchOptions are reduced-scale settings so the full sweep stays in
@@ -223,4 +224,37 @@ func BenchmarkAblationAdaptiveStealPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceOverhead quantifies what permanently compiled-in tracing
+// costs on a TC run (ISSUE acceptance: disabled tracer ≤ 3% overhead).
+//
+//	absent    — Config.Tracer nil: every probe is one nil check.
+//	disabled  — tracer constructed but never enabled: one atomic load.
+//	histogram — Enable(): histogram observations, no ring events.
+//	events    — EnableEvents(): full ring-buffer event capture.
+func BenchmarkTraceOverhead(b *testing.B) {
+	g := gen.MustBuild(gen.Orkut, 0.15)
+	run := func(b *testing.B, mk func() *trace.Tracer) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := gminer.Config{Workers: 3, Threads: 2, UseLSH: true, Stealing: true}
+			cfg.Tracer = mk()
+			if _, err := gminer.Run(g, algo.NewTriangleCount(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("absent", func(b *testing.B) {
+		run(b, func() *trace.Tracer { return nil })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() *trace.Tracer { return trace.New(4, 1024) })
+	})
+	b.Run("histograms", func(b *testing.B) {
+		run(b, func() *trace.Tracer { return trace.New(4, 1024).Enable() })
+	})
+	b.Run("events", func(b *testing.B) {
+		run(b, func() *trace.Tracer { return trace.New(4, 1024).EnableEvents() })
+	})
 }

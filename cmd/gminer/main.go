@@ -26,6 +26,7 @@ import (
 	"gminer/internal/graph"
 	"gminer/internal/monitor"
 	"gminer/internal/partition"
+	"gminer/internal/trace"
 )
 
 func main() {
@@ -57,9 +58,10 @@ func main() {
 		minSize = flag.Int("minsize", 4, "cd/gc minimum community/cluster size")
 		split   = flag.Int("split", 0, "mcf: recursive task split threshold (0=off)")
 
-		emit     = flag.Bool("emit", false, "print result records")
-		timeout  = flag.Duration("timeout", 0, "abort after this duration (0=none)")
-		httpAddr = flag.String("http", "", "serve live job status over HTTP on this address (e.g. 127.0.0.1:8080)")
+		emit      = flag.Bool("emit", false, "print result records")
+		timeout   = flag.Duration("timeout", 0, "abort after this duration (0=none)")
+		httpAddr  = flag.String("http", "", "serve live job status over HTTP on this address (e.g. 127.0.0.1:8080)")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON dump (load in Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -98,6 +100,14 @@ func main() {
 		fatal(fmt.Errorf("unknown partitioner %q", *part))
 	}
 
+	// Latency histograms are always on for the exit summary; full event
+	// capture (ring buffers) only when a trace dump was requested.
+	tracer := trace.New(cfg.Workers+1, 0).Enable()
+	if *tracePath != "" {
+		tracer.EnableEvents()
+	}
+	cfg.Tracer = tracer
+
 	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
 	fmt.Printf("running %s with %d workers x %d threads (%s partitioning, lsh=%v, stealing=%v)\n",
 		a.Name(), cfg.Workers, cfg.Threads, *part, *lsh, *steal)
@@ -108,12 +118,13 @@ func main() {
 	}
 	if *httpAddr != "" {
 		mon := monitor.New(job)
+		mon.SetTracer(tracer)
 		addr, err := mon.Start(*httpAddr)
 		if err != nil {
 			fatal(err)
 		}
 		defer mon.Stop()
-		fmt.Printf("monitoring:   http://%s/status\n", addr)
+		fmt.Printf("monitoring:   http://%s/status (metrics at /metrics)\n", addr)
 	}
 	if *timeout > 0 {
 		go func() {
@@ -147,6 +158,23 @@ func main() {
 		}
 	}
 	fmt.Printf("records:      %d\n", len(res.Records))
+	if len(res.Phases) > 0 {
+		fmt.Printf("\npipeline latency (per phase):\n%s", trace.FormatSummary(res.Phases))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:        %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
 	if *emit {
 		for _, r := range res.Records {
 			fmt.Println(r)

@@ -13,6 +13,7 @@ import (
 
 	"gminer/internal/graph"
 	"gminer/internal/metrics"
+	"gminer/internal/trace"
 )
 
 type entry struct {
@@ -33,6 +34,7 @@ type RCV struct {
 	zeroHead, zeroTail *entry
 	closed             bool
 	counters           *metrics.Counters
+	tr                 trace.Handle
 	bytes              int64
 }
 
@@ -50,6 +52,9 @@ func New(capacity int, counters *metrics.Counters) *RCV {
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
+
+// SetTrace attaches a trace handle; call before the cache is shared.
+func (c *RCV) SetTrace(h trace.Handle) { c.tr = h }
 
 // Capacity returns the configured capacity.
 func (c *RCV) Capacity() int { return c.capacity }
@@ -78,11 +83,13 @@ func (c *RCV) Acquire(id graph.VertexID) (*graph.Vertex, bool) {
 		if c.counters != nil {
 			c.counters.CacheMiss()
 		}
+		c.tr.Event(trace.EvCacheMiss, uint64(id))
 		return nil, false
 	}
 	if c.counters != nil {
 		c.counters.CacheHit()
 	}
+	c.tr.Event(trace.EvCacheHit, uint64(id))
 	c.refLocked(e)
 	return e.v, true
 }
@@ -119,6 +126,7 @@ func (c *RCV) Insert(v *graph.Vertex) bool {
 			c.zeroRemove(victim)
 			delete(c.entries, victim.v.ID)
 			c.bytes -= victim.v.FootprintBytes()
+			c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
 			break
 		}
 		// "if there is no vertex with r = 0 ... go to sleep until some
@@ -153,6 +161,7 @@ func (c *RCV) TryInsert(v *graph.Vertex) bool {
 		c.zeroRemove(victim)
 		delete(c.entries, victim.v.ID)
 		c.bytes -= victim.v.FootprintBytes()
+		c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
 	}
 	c.entries[v.ID] = &entry{v: v, ref: 1}
 	c.bytes += v.FootprintBytes()
@@ -203,6 +212,7 @@ func (c *RCV) Release(ids ...graph.VertexID) {
 		c.zeroRemove(victim)
 		delete(c.entries, victim.v.ID)
 		c.bytes -= victim.v.FootprintBytes()
+		c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
 	}
 	if released {
 		c.cond.Broadcast()

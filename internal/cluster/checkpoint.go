@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gminer/internal/store"
+	"gminer/internal/trace"
 	"gminer/internal/wire"
 )
 
@@ -137,6 +138,11 @@ func (s *snapshotSink) path(worker int) string {
 func (w *Worker) checkpoint(epoch int64) {
 	w.paused.Store(true)
 	defer w.paused.Store(false)
+	var ckptStart time.Time
+	if w.trCkpt.Active() {
+		ckptStart = time.Now()
+		w.trCkpt.Event(trace.EvCheckpointBegin, uint64(epoch))
+	}
 
 	// Quiesce: wait until every alive task is inactive in the store.
 	deadline := time.Now().Add(10 * time.Second)
@@ -179,6 +185,7 @@ func (w *Worker) checkpoint(epoch int64) {
 			return
 		}
 	}
+	w.trCkpt.ObserveSpan(trace.MetricCheckpoint, trace.EvCheckpointEnd, ckptStart, uint64(epoch))
 	_ = w.ep.Send(w.masterNode, msgCheckpointDone, encodeEpoch(epoch))
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gminer/internal/partition"
+	"gminer/internal/trace"
 )
 
 // Config controls a G-Miner job. Zero values are filled by Defaults.
@@ -72,6 +73,12 @@ type Config struct {
 	// SampleEvery enables utilization timeline sampling (Figures 5–6)
 	// with the given period; 0 disables.
 	SampleEvery time.Duration
+
+	// Tracer records structured pipeline events and latency histograms
+	// (internal/trace). Nil disables all tracing at zero hot-path cost;
+	// a constructed-but-disabled tracer costs one atomic load per probe.
+	// Create it with trace.New(Workers+1, ...) so the master has a ring.
+	Tracer *trace.Tracer
 
 	// MaxPendingPulls bounds tasks waiting in the CMQ per worker.
 	MaxPendingPulls int

@@ -10,6 +10,7 @@ import (
 	"gminer/internal/graph"
 	"gminer/internal/metrics"
 	"gminer/internal/partition"
+	"gminer/internal/trace"
 	"gminer/internal/transport"
 )
 
@@ -36,6 +37,10 @@ type Result struct {
 	EdgeCut float64
 	// Recovered counts worker recoveries during the run.
 	Recovered int
+	// Phases holds the tracer's per-phase latency percentiles (task
+	// round, pull RTT, spill I/O, migration, checkpoint) when a tracer
+	// was attached via Config.Tracer; nil otherwise.
+	Phases []trace.PhaseSummary
 }
 
 // CPUUtil returns the average computing-thread utilization of the run.
@@ -101,6 +106,7 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 		if err != nil {
 			return nil, err
 		}
+		tn.SetTracer(cfg.Tracer)
 		j.netTCP = tn
 		for i := 0; i < nodes; i++ {
 			endpoints[i] = tn.Endpoint(i)
@@ -111,6 +117,7 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 			Latency:      cfg.Latency,
 			BandwidthBps: cfg.BandwidthBps,
 			Counters:     j.counters,
+			Tracer:       cfg.Tracer,
 		})
 		j.netLocal = ln
 		for i := 0; i < nodes; i++ {
@@ -268,6 +275,7 @@ func (j *Job) Wait() (*Result, error) {
 		if j.sampler != nil {
 			res.Timeline = j.sampler.Stop()
 		}
+		res.Phases = j.cfg.Tracer.Summary()
 		j.result = res
 	})
 	return j.result, j.err
@@ -287,6 +295,9 @@ func (j *Job) WorkerSnapshots() []metrics.Snapshot {
 	}
 	return out
 }
+
+// Tracer returns the tracer attached via Config.Tracer (nil if none).
+func (j *Job) Tracer() *trace.Tracer { return j.cfg.Tracer }
 
 // Done reports whether the job has terminated.
 func (j *Job) Done() bool {

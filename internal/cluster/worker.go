@@ -16,6 +16,7 @@ import (
 	"gminer/internal/partition"
 	"gminer/internal/spill"
 	"gminer/internal/store"
+	"gminer/internal/trace"
 	"gminer/internal/transport"
 	"gminer/internal/wire"
 )
@@ -99,6 +100,17 @@ type Worker struct {
 	masterNode  int
 	snapshots   *snapshotSink
 	stealPolicy StealPolicy
+
+	// Trace handles, one per pipeline component (zero handles drop
+	// everything when Config.Tracer is nil).
+	trSeed  trace.Handle
+	trRetr  trace.Handle
+	trExec  trace.Handle
+	trSteal trace.Handle
+	trCkpt  trace.Handle
+	// lastStealReq is when this worker last sent a steal REQ (UnixNano),
+	// for the thief-side migration latency histogram. 0 = none pending.
+	lastStealReq atomic.Int64
 }
 
 // newWorker builds worker `id` over the shared frozen graph. restore, if
@@ -121,6 +133,11 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 		snapshots:  snapshots,
 	}
 	w.pendCond = sync.NewCond(&w.pendMu)
+	w.trSeed = cfg.Tracer.Handle(id, trace.CompSeeder)
+	w.trRetr = cfg.Tracer.Handle(id, trace.CompRetriever)
+	w.trExec = cfg.Tracer.Handle(id, trace.CompExecutor)
+	w.trSteal = cfg.Tracer.Handle(id, trace.CompSteal)
+	w.trCkpt = cfg.Tracer.Handle(id, trace.CompCheckpoint)
 	w.stealPolicy = cfg.StealPolicy
 	if w.stealPolicy == nil {
 		w.stealPolicy = CostPolicy{Tc: cfg.StealCostMax, Tr: cfg.StealLocalityMax}
@@ -158,6 +175,7 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 		return nil, err
 	}
 	w.spiller = sp
+	sp.SetTrace(cfg.Tracer.Handle(id, trace.CompSpill))
 	lshDims := 0
 	if cfg.UseLSH {
 		lshDims = cfg.LSHDims
@@ -169,6 +187,7 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 		Seed:          0x5eed + uint64(id),
 	}, algo, sp, counters)
 	w.cache = cache.New(cfg.CacheCapacity, counters)
+	w.cache.SetTrace(cfg.Tracer.Handle(id, trace.CompCache))
 	w.cpq = newTaskQueue()
 	w.buffer = newTaskBuffer(cfg.BufferFlush)
 
@@ -282,6 +301,7 @@ func (w *Worker) computeToPull(t *core.Task) {
 func (w *Worker) seederLoop() {
 	spawn := func(t *core.Task) {
 		w.assignID(t)
+		w.trSeed.Event(trace.EvTaskSeed, t.ID)
 		w.intake(t, false)
 	}
 	for i := int(w.seedCursor.Load()); i < len(w.localIDs); i++ {
@@ -354,6 +374,7 @@ func (w *Worker) waitPendingBelow(n int) {
 func (w *Worker) dispatch(t *core.Task) {
 	if len(t.ToPull) == 0 {
 		t.SetStatus(core.StatusReady)
+		w.trRetr.Event(trace.EvTaskReady, t.ID)
 		w.cpq.push(t)
 		return
 	}
@@ -377,12 +398,16 @@ func (w *Worker) dispatch(t *core.Task) {
 	if pt.remaining == 0 {
 		w.pendMu.Unlock()
 		t.SetStatus(core.StatusReady)
+		w.trRetr.Event(trace.EvTaskReady, t.ID)
 		w.cpq.push(t)
 		return
 	}
 	w.pendingTasks++
 	flush := w.pullCount >= w.cfg.BufferFlush
+	// pt is visible to handlePullResp once pendMu drops; read remaining now.
+	parked := pt.remaining
 	w.pendMu.Unlock()
+	w.trRetr.Event(trace.EvCMQBatch, uint64(parked))
 	if flush {
 		w.flushPulls()
 	}
@@ -400,6 +425,7 @@ func (w *Worker) flushPulls() {
 	w.pullCount = 0
 	w.pendMu.Unlock()
 	for owner, ids := range batch {
+		w.trRetr.Event(trace.EvPullIssued, uint64(len(ids)))
 		_ = w.ep.Send(owner, msgPullReq, encodePullReq(ids))
 	}
 }
@@ -411,11 +437,18 @@ func (w *Worker) handlePullResp(payload []byte) {
 		return
 	}
 	var ready []*core.Task
+	var now time.Time
+	if w.trRetr.Active() {
+		now = time.Now()
+	}
 	w.pendMu.Lock()
 	for _, pv := range entries {
 		ps, ok := w.pulls[pv.ID]
 		if !ok || len(ps.waiters) == 0 {
 			continue // duplicate response (e.g. a retry raced the original)
+		}
+		if !now.IsZero() {
+			w.trRetr.Observe(trace.MetricPullRTT, now.Sub(ps.requestedAt))
 		}
 		delete(w.pulls, pv.ID)
 		if pv.Present {
@@ -438,8 +471,10 @@ func (w *Worker) handlePullResp(payload []byte) {
 	}
 	w.pendCond.Broadcast()
 	w.pendMu.Unlock()
+	w.trRetr.Event(trace.EvPullAnswered, uint64(len(entries)))
 	for _, t := range ready {
 		t.SetStatus(core.StatusReady)
+		w.trRetr.Event(trace.EvTaskReady, t.ID)
 		w.cpq.push(t)
 	}
 }
@@ -489,11 +524,17 @@ func (w *Worker) runTask(t *core.Task) {
 		cands := w.resolve(t.Cands)
 		w.algo.Update(t, cands, w)
 		w.counters.AddBusy(time.Since(start))
+		// Reuses the busy-time timestamps: a disabled tracer adds no clock
+		// reads to the round loop.
+		w.trExec.ObserveSpan(trace.MetricTaskRound, trace.EvTaskActive, start, t.ID)
 
 		next, children := t.TakeTransition()
 		if len(t.ToPull) > 0 {
 			w.cache.Release(t.ToPull...)
 			t.ToPull = t.ToPull[:0]
+		}
+		if len(children) > 0 {
+			w.trExec.Event(trace.EvTaskSplit, uint64(len(children)))
 		}
 		for _, c := range children {
 			w.assignID(c)
@@ -509,6 +550,7 @@ func (w *Worker) runTask(t *core.Task) {
 		w.computeToPull(t)
 		if len(t.ToPull) > 0 {
 			t.SetStatus(core.StatusInactive)
+			w.trExec.Event(trace.EvTaskInactive, t.ID)
 			if batch := w.buffer.add(t); batch != nil {
 				w.flushBatch(batch)
 			}
@@ -524,6 +566,7 @@ func (w *Worker) taskDead(t *core.Task) {
 	w.inflight.Add(-1)
 	w.activity.Add(1)
 	w.counters.TaskDone()
+	w.trExec.Event(trace.EvTaskDead, t.ID)
 	if obs, ok := w.stealPolicy.(TaskObserver); ok {
 		obs.ObserveCompleted(t.CostC())
 	}
@@ -565,6 +608,8 @@ func (w *Worker) commLoop() {
 		case msgTasks:
 			w.handleTasks(m.Payload)
 		case msgNoTask:
+			w.trSteal.Event(trace.EvStealNoTask, 0)
+			w.lastStealReq.Store(0)
 			w.stealBackoff.Store(8)
 		case msgAggGlobal:
 			w.handleAggGlobal(m.Payload)
@@ -607,9 +652,11 @@ func (w *Worker) handleMigrate(payload []byte) {
 	}
 	tasks := w.store.Steal(tnum, w.stealPolicy.Eligible)
 	if len(tasks) == 0 {
+		w.trSteal.Event(trace.EvStealNoTask, 0)
 		_ = w.ep.Send(thief, msgNoTask, nil)
 		return
 	}
+	w.trSteal.Event(trace.EvStealMigrate, uint64(len(tasks)))
 	payloadOut := encodeTasks(tasks, w.algo)
 	w.inflight.Add(-int64(len(tasks)))
 	w.activity.Add(int64(len(tasks)))
@@ -625,6 +672,9 @@ func (w *Worker) handleTasks(payload []byte) {
 	tasks, err := decodeTasks(payload, w.algo)
 	if err != nil {
 		return
+	}
+	if at := w.lastStealReq.Swap(0); at != 0 && w.trSteal.Active() {
+		w.trSteal.Observe(trace.MetricMigration, time.Duration(time.Now().UnixNano()-at))
 	}
 	for _, t := range tasks {
 		w.intake(t, true)
@@ -684,6 +734,10 @@ func (w *Worker) progressLoop() {
 			if w.stealBackoff.Load() > 0 {
 				w.stealBackoff.Add(-1)
 			} else {
+				if w.trSteal.Active() {
+					w.trSteal.Event(trace.EvStealReq, 0)
+					w.lastStealReq.CompareAndSwap(0, time.Now().UnixNano())
+				}
 				_ = w.ep.Send(w.masterNode, msgStealReq, nil)
 			}
 		}

@@ -191,8 +191,16 @@ type Sampler struct {
 }
 
 // NewSampler samples the summed counters every period, assuming `threads`
-// total computing threads across all counters.
+// total computing threads across all counters. A non-positive period or
+// thread count is clamped so the sampler can never divide by zero (or
+// panic in time.NewTicker) on a degenerate configuration.
 func NewSampler(period time.Duration, threads int, cs ...*Counters) *Sampler {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	if threads <= 0 {
+		threads = 1
+	}
 	return &Sampler{cs: cs, period: period, threads: threads}
 }
 
@@ -233,15 +241,20 @@ func (s *Sampler) sample() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Ticker firings can bunch up on a loaded machine; normalize by the
-	// actual interval and drop degenerate back-to-back samples.
+	// actual interval and drop degenerate back-to-back samples. The dt
+	// guard doubles as the divide-by-zero guard: an empty sample window
+	// (dt <= 0, possible under clock steps) must not produce NaN points.
 	dt := at.Sub(s.prevAt)
-	if dt < s.period/4 {
+	if dt <= 0 || dt < s.period/4 {
 		return
 	}
 	dBusy := now.Busy - s.prev.Busy
 	util := float64(dBusy) / (float64(dt) * float64(s.threads))
 	if util > 1 {
 		util = 1
+	}
+	if util < 0 {
+		util = 0
 	}
 	s.points = append(s.points, TimelinePoint{
 		At:        at.Sub(s.start),

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -133,5 +134,70 @@ func TestCountersConcurrent(t *testing.T) {
 	s := c.Snapshot()
 	if s.NetBytes != 8000 || s.TasksDone != 8000 || s.LiveBytes != 0 {
 		t.Fatalf("%+v", s)
+	}
+}
+
+func TestCacheHitRateEmptyWindow(t *testing.T) {
+	var s Snapshot
+	if got := s.CacheHitRate(); got != 0 {
+		t.Fatalf("empty window hit rate = %v, want 0", got)
+	}
+	s.CacheHits = 3
+	if got := s.CacheHitRate(); got != 1 {
+		t.Fatalf("hit-only rate = %v, want 1", got)
+	}
+}
+
+func TestCPUUtilDegenerateInputs(t *testing.T) {
+	s := Snapshot{Busy: time.Second}
+	for _, tc := range []struct {
+		elapsed time.Duration
+		threads int
+	}{
+		{0, 4}, {-time.Second, 4}, {time.Second, 0}, {time.Second, -1}, {0, 0},
+	} {
+		got := s.CPUUtil(tc.elapsed, tc.threads)
+		if got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("CPUUtil(%v, %d) = %v, want 0", tc.elapsed, tc.threads, got)
+		}
+	}
+	// Over-subscribed busy time clamps to 1, never exceeds it.
+	if got := (Snapshot{Busy: 10 * time.Second}).CPUUtil(time.Second, 2); got != 1 {
+		t.Fatalf("clamped util = %v, want 1", got)
+	}
+}
+
+// TestSamplerDegenerateConfig checks the NewSampler clamps: a zero or
+// negative period must not panic time.NewTicker, and zero threads must
+// not divide by zero in sample().
+func TestSamplerDegenerateConfig(t *testing.T) {
+	var c Counters
+	for _, tc := range []struct {
+		period  time.Duration
+		threads int
+	}{
+		{0, 0}, {-time.Second, -3}, {0, 4}, {time.Millisecond, 0},
+	} {
+		s := NewSampler(tc.period, tc.threads, &c)
+		s.Start()
+		c.AddBusy(10 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
+		pts := s.Stop()
+		for _, p := range pts {
+			if math.IsNaN(p.CPUUtil) || math.IsInf(p.CPUUtil, 0) || p.CPUUtil < 0 || p.CPUUtil > 1 {
+				t.Fatalf("NewSampler(%v, %d): bad util %v", tc.period, tc.threads, p.CPUUtil)
+			}
+		}
+	}
+}
+
+func TestSamplerNoCounters(t *testing.T) {
+	s := NewSampler(time.Millisecond, 2)
+	s.Start()
+	time.Sleep(5 * time.Millisecond)
+	for _, p := range s.Stop() {
+		if math.IsNaN(p.CPUUtil) || p.CPUUtil != 0 {
+			t.Fatalf("counter-less sampler util = %v", p.CPUUtil)
+		}
 	}
 }

@@ -8,12 +8,15 @@ package monitor
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"gminer/internal/metrics"
+	"gminer/internal/trace"
 )
 
 // Source is what the monitor samples: per-worker counters and job
@@ -47,8 +50,9 @@ type WorkerStatus struct {
 
 // Server serves job status over HTTP.
 type Server struct {
-	src   Source
-	start time.Time
+	src    Source
+	tracer *trace.Tracer // optional; adds histograms to /metrics
+	start  time.Time
 
 	mu  sync.Mutex
 	srv *http.Server
@@ -60,6 +64,10 @@ func New(src Source) *Server {
 	return &Server{src: src, start: time.Now()}
 }
 
+// SetTracer attaches a tracer whose latency histograms and event counters
+// are appended to the /metrics exposition. Call before Start.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves until Stop.
 // Returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
@@ -70,6 +78,7 @@ func (s *Server) Start(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/", s.handleText)
 	srv := &http.Server{Handler: mux}
 	s.mu.Lock()
@@ -115,6 +124,70 @@ func workerStatus(i int, s metrics.Snapshot) WorkerStatus {
 		Results:     s.Results,
 		CacheHit:    s.CacheHitRate(),
 		Stolen:      s.Stolen,
+	}
+}
+
+// promCounter describes one per-worker counter family on /metrics.
+type promCounter struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value func(metrics.Snapshot) float64
+}
+
+var promCounters = []promCounter{
+	{"gminer_busy_seconds_total", "Computing-thread busy time.", "counter",
+		func(s metrics.Snapshot) float64 { return s.Busy.Seconds() }},
+	{"gminer_net_bytes_total", "Payload bytes sent over the network.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.NetBytes) }},
+	{"gminer_net_messages_total", "Messages sent over the network.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.NetMsgs) }},
+	{"gminer_disk_read_bytes_total", "Task-store spill bytes read.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.DiskRead) }},
+	{"gminer_disk_write_bytes_total", "Task-store spill bytes written.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.DiskWrite) }},
+	{"gminer_tasks_done_total", "Completed (dead) tasks.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.TasksDone) }},
+	{"gminer_results_total", "Emitted output records.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.Results) }},
+	{"gminer_cache_hits_total", "RCV cache hits.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.CacheHits) }},
+	{"gminer_cache_misses_total", "RCV cache misses.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.CacheMisses) }},
+	{"gminer_tasks_stolen_total", "Tasks migrated by work stealing.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.Stolen) }},
+	{"gminer_live_bytes", "Estimated live memory.", "gauge",
+		func(s metrics.Snapshot) float64 { return float64(s.LiveBytes) }},
+	{"gminer_peak_bytes", "Peak estimated live memory.", "gauge",
+		func(s metrics.Snapshot) float64 { return float64(s.PeakBytes) }},
+}
+
+// handleMetrics serves the Prometheus text exposition: per-worker counter
+// families from the progress table plus the tracer's latency histograms
+// and event counters when a tracer is attached.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) writeMetrics(w io.Writer) {
+	snaps := s.src.WorkerSnapshots()
+	for _, c := range promCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+		for i, snap := range snaps {
+			fmt.Fprintf(w, "%s{worker=\"%d\"} %s\n", c.name, i,
+				strconv.FormatFloat(c.value(snap), 'g', -1, 64))
+		}
+	}
+	done := 0.0
+	if s.src.Done() {
+		done = 1
+	}
+	fmt.Fprintf(w, "# HELP gminer_job_done Whether the job has terminated.\n# TYPE gminer_job_done gauge\ngminer_job_done %g\n", done)
+	fmt.Fprintf(w, "# HELP gminer_uptime_seconds Time since the monitor started.\n# TYPE gminer_uptime_seconds gauge\ngminer_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(s.start).Seconds(), 'g', -1, 64))
+	if s.tracer != nil {
+		_ = s.tracer.WritePrometheus(w)
 	}
 }
 

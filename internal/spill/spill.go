@@ -16,12 +16,15 @@ import (
 	"sync"
 
 	"gminer/internal/metrics"
+	"gminer/internal/trace"
+	"time"
 )
 
 // Spiller allocates, writes, reads and frees blocks of encoded bytes.
 type Spiller struct {
 	dir      string // empty → in-memory
 	counters *metrics.Counters
+	tr       trace.Handle
 
 	mu     sync.Mutex
 	nextID int
@@ -43,6 +46,10 @@ func New(dir string, counters *metrics.Counters) (*Spiller, error) {
 	return s, nil
 }
 
+// SetTrace attaches a trace handle for spill I/O spans and the spill
+// latency histogram; call before the spiller is shared.
+func (s *Spiller) SetTrace(h trace.Handle) { s.tr = h }
+
 // Write stores data as a new block and returns its ID.
 func (s *Spiller) Write(data []byte) (int, error) {
 	s.mu.Lock()
@@ -50,6 +57,10 @@ func (s *Spiller) Write(data []byte) (int, error) {
 	s.nextID++
 	s.mu.Unlock()
 
+	var start time.Time
+	if s.tr.Active() {
+		start = time.Now()
+	}
 	if s.counters != nil {
 		s.counters.AddDiskWrite(int64(len(data)))
 	}
@@ -58,16 +69,22 @@ func (s *Spiller) Write(data []byte) (int, error) {
 		s.mu.Lock()
 		s.mem[id] = cp
 		s.mu.Unlock()
+		s.tr.ObserveSpan(trace.MetricSpillIO, trace.EvSpillWrite, start, uint64(len(data)))
 		return id, nil
 	}
 	if err := os.WriteFile(s.path(id), data, 0o644); err != nil {
 		return 0, fmt.Errorf("spill: write block %d: %w", id, err)
 	}
+	s.tr.ObserveSpan(trace.MetricSpillIO, trace.EvSpillWrite, start, uint64(len(data)))
 	return id, nil
 }
 
 // Read loads a block's bytes.
 func (s *Spiller) Read(id int) ([]byte, error) {
+	var start time.Time
+	if s.tr.Active() {
+		start = time.Now()
+	}
 	var data []byte
 	if s.mem != nil {
 		s.mu.Lock()
@@ -86,6 +103,7 @@ func (s *Spiller) Read(id int) ([]byte, error) {
 	if s.counters != nil {
 		s.counters.AddDiskRead(int64(len(data)))
 	}
+	s.tr.ObserveSpan(trace.MetricSpillIO, trace.EvSpillLoad, start, uint64(len(data)))
 	return data, nil
 }
 

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event sink: renders the ring buffers in the Chrome
+// trace-event JSON format (the "JSON Array Format" wrapped in an object),
+// which chrome://tracing and https://ui.perfetto.dev load directly.
+//
+// Mapping: one process (pid) per worker, one thread (tid) per pipeline
+// component, so Perfetto shows a track per worker×component. Events with
+// a duration become complete events ("ph":"X"); instantaneous ones become
+// thread-scoped instant events ("ph":"i").
+
+// chromeEvent is one trace-event object. Fields follow the Trace Event
+// Format spec; Ts and Dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome dumps every buffered event as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+2*len(t.rings))}
+
+	// Metadata: name each worker process and component thread once.
+	type track struct{ pid, tid int }
+	seen := make(map[track]bool)
+	for _, e := range events {
+		tr := track{pid: int(e.Worker), tid: int(e.Comp)}
+		if seen[tr] {
+			continue
+		}
+		seen[tr] = true
+		doc.TraceEvents = append(doc.TraceEvents,
+			chromeEvent{Name: "process_name", Phase: "M", Pid: tr.pid, Tid: tr.tid,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", tr.pid)}},
+			chromeEvent{Name: "thread_name", Phase: "M", Pid: tr.pid, Tid: tr.tid,
+				Args: map[string]any{"name": Component(tr.tid).String()}},
+		)
+	}
+
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Type.String(),
+			Ts:   float64(e.TS) / 1e3,
+			Pid:  int(e.Worker),
+			Tid:  int(e.Comp),
+			Cat:  e.Comp.String(),
+			Args: map[string]any{"arg": e.Arg},
+		}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			dur := float64(e.Dur) / 1e3
+			ce.Dur = &dur
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

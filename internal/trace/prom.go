@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text-exposition sink (version 0.0.4 of the format): the
+// tracer's latency histograms become native Prometheus histograms
+// (cumulative `_bucket{le=...}` series plus `_sum`/`_count`) and the
+// event counters become one counter family with an `event` label.
+// internal/monitor composes this with the per-worker resource counters
+// into the full /metrics endpoint.
+
+var metricHelp = [numMetrics]string{
+	MetricTaskRound:  "Latency of one task executor update round.",
+	MetricPullRTT:    "Request-to-response latency of one pulled vertex.",
+	MetricSpillIO:    "Latency of one task-store spill block write or load.",
+	MetricMigration:  "Thief-side task stealing latency (REQ sent to batch received).",
+	MetricCheckpoint: "Duration of one worker checkpoint (quiesce and dump).",
+}
+
+// WritePrometheus writes the tracer's histograms and event counters in
+// Prometheus text exposition format. Nil-safe (writes nothing).
+func (t *Tracer) WritePrometheus(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for m := Metric(0); m < numMetrics; m++ {
+		h := &t.hists[m]
+		name := "gminer_" + m.String() + "_seconds"
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, metricHelp[m], name); err != nil {
+			return err
+		}
+		buckets := h.Buckets()
+		var cum int64
+		for b := 0; b < histBuckets; b++ {
+			cum += buckets[b]
+			if buckets[b] == 0 && b != histBuckets-1 {
+				continue // sparse: cumulative values stay correct
+			}
+			_, hi := bucketBounds(b)
+			le := strconv.FormatFloat(float64(hi)/1e9, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name,
+			strconv.FormatFloat(h.Sum().Seconds(), 'g', -1, 64), name, h.Count()); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "# HELP gminer_trace_events_total Pipeline events recorded by the tracer.\n# TYPE gminer_trace_events_total counter\n"); err != nil {
+		return err
+	}
+	for typ := EventType(1); typ < numEventTypes; typ++ {
+		if _, err := fmt.Fprintf(w, "gminer_trace_events_total{event=%q} %d\n",
+			typ.String(), t.EventCount(typ)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

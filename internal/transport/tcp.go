@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gminer/internal/metrics"
+	"gminer/internal/trace"
 )
 
 // TCPNetwork runs the same message protocol over real loopback TCP
@@ -22,6 +23,7 @@ import (
 type TCPNetwork struct {
 	nodes    int
 	counters []*metrics.Counters
+	tracer   *trace.Tracer
 
 	mu        sync.Mutex
 	addrs     []string
@@ -54,6 +56,10 @@ func NewTCP(nodes int, counters []*metrics.Counters) (*TCPNetwork, error) {
 	}
 	return n, nil
 }
+
+// SetTracer attaches a tracer recording one EvNetSend per frame sent;
+// call before the network is shared. Nil is allowed.
+func (n *TCPNetwork) SetTracer(t *trace.Tracer) { n.tracer = t }
 
 // Endpoint returns node i's endpoint.
 func (n *TCPNetwork) Endpoint(node int) Endpoint { return n.endpoints[node] }
@@ -138,6 +144,9 @@ func (e *tcpEndpoint) Send(to int, typ uint8, payload []byte) error {
 	}
 	if e.net.counters != nil && e.node < len(e.net.counters) && e.net.counters[e.node] != nil {
 		e.net.counters[e.node].AddNet(int64(len(frame)))
+	}
+	if e.net.tracer.Enabled() {
+		e.net.tracer.Handle(e.node, trace.CompNet).Event(trace.EvNetSend, uint64(len(frame)))
 	}
 	return nil
 }

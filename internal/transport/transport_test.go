@@ -2,11 +2,13 @@ package transport
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"gminer/internal/metrics"
+	"gminer/internal/trace"
 )
 
 func TestLocalSendRecv(t *testing.T) {
@@ -229,5 +231,113 @@ func TestTCPByteAccounting(t *testing.T) {
 	n.Endpoint(1).RecvTimeout(2 * time.Second)
 	if cs[0].Snapshot().NetBytes < 256 {
 		t.Fatal("tcp bytes not counted")
+	}
+}
+
+// TestTCPConcurrentCloseVsSend hammers Send from many goroutines while
+// Close races in: no panic, sends after close fail cleanly, and all
+// transport goroutines (accept/read loops) exit — no leak.
+func TestTCPConcurrentCloseVsSend(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		n, err := NewTCP(4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for src := 0; src < 4; src++ {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				ep := n.Endpoint(src)
+				payload := make([]byte, 512)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Errors are expected once Close lands; panics are not.
+					_ = ep.Send((src+1+i)%4, 7, payload)
+				}
+			}(src)
+		}
+		// Let traffic build, then yank the network out from under the senders.
+		time.Sleep(5 * time.Millisecond)
+		n.Close()
+		close(stop)
+		wg.Wait()
+		if err := n.Endpoint(0).Send(1, 7, nil); err == nil {
+			t.Fatal("send succeeded after Close")
+		}
+	}
+	// Read/accept loops unwind asynchronously after Close; give them a
+	// bounded settle window before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after close\n%s",
+				before, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTCPDoubleCloseAndEndpointClose(t *testing.T) {
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n.Endpoint(0).Send(1, 1, []byte("x"))
+	n.Close()
+	n.Close() // idempotent
+	if err := n.Endpoint(0).Close(); err != nil {
+		t.Fatalf("endpoint close after network close: %v", err)
+	}
+	if _, ok := n.Endpoint(1).RecvTimeout(50 * time.Millisecond); ok {
+		// A message delivered before close may still be buffered; drain it
+		// and ensure the mailbox then reports closed.
+		if _, ok := n.Endpoint(1).RecvTimeout(50 * time.Millisecond); ok {
+			t.Fatal("mailbox still delivering after close")
+		}
+	}
+}
+
+func TestTCPTracerCountsSends(t *testing.T) {
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	tr := trace.New(2, 16).EnableEvents()
+	n.SetTracer(tr)
+	if err := n.Endpoint(0).Send(1, 1, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	n.Endpoint(1).RecvTimeout(2 * time.Second)
+	if got := tr.EventCount(trace.EvNetSend); got != 1 {
+		t.Fatalf("net_send events = %d, want 1", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Arg < 100 {
+		t.Fatalf("events: %+v", evs)
+	}
+}
+
+func TestLocalTracerCountsSends(t *testing.T) {
+	tr := trace.New(2, 16).EnableEvents()
+	n := NewLocal(LocalConfig{Nodes: 2, Tracer: tr})
+	if err := n.Endpoint(0).Send(1, 1, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.EventCount(trace.EvNetSend); got != 1 {
+		t.Fatalf("net_send events = %d, want 1", got)
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"gminer"
 	"gminer/internal/algo"
+	"gminer/internal/chaos"
 	"gminer/internal/core"
 	"gminer/internal/gen"
 	"gminer/internal/graph"
@@ -57,6 +58,9 @@ func main() {
 		minSim  = flag.Float64("minsim", 0.6, "cd/gc attribute similarity threshold")
 		minSize = flag.Int("minsize", 4, "cd/gc minimum community/cluster size")
 		split   = flag.Int("split", 0, "mcf: recursive task split threshold (0=off)")
+
+		chaosProfile = flag.String("chaos-profile", "", "fault-injection profile: default, heavy, or 'drop=0.05,delay=0.2,delaymax=2ms,crash=1@15ms' (empty=off)")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos RNG seed; same seed, same fault sequence")
 
 		emit      = flag.Bool("emit", false, "print result records")
 		timeout   = flag.Duration("timeout", 0, "abort after this duration (0=none)")
@@ -100,6 +104,18 @@ func main() {
 		fatal(fmt.Errorf("unknown partitioner %q", *part))
 	}
 
+	var chaosCtl *chaos.Controller
+	if *chaosProfile != "" {
+		p, err := chaos.ParseProfile(*chaosProfile, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
+		if p.Active() {
+			chaosCtl = chaos.New(p)
+			cfg.Chaos = chaosCtl
+		}
+	}
+
 	// Latency histograms are always on for the exit summary; full event
 	// capture (ring buffers) only when a trace dump was requested.
 	tracer := trace.New(cfg.Workers+1, 0).Enable()
@@ -111,6 +127,9 @@ func main() {
 	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
 	fmt.Printf("running %s with %d workers x %d threads (%s partitioning, lsh=%v, stealing=%v)\n",
 		a.Name(), cfg.Workers, cfg.Threads, *part, *lsh, *steal)
+	if chaosCtl != nil {
+		fmt.Printf("chaos:        profile %q, seed %d\n", *chaosProfile, *chaosSeed)
+	}
 
 	job, err := gminer.Start(g, a, cfg)
 	if err != nil {
@@ -144,6 +163,9 @@ func main() {
 	fmt.Printf("network:      %d msgs, %d bytes\n", res.Total.NetMsgs, res.Total.NetBytes)
 	fmt.Printf("disk spill:   %d bytes written, %d read\n", res.Total.DiskWrite, res.Total.DiskRead)
 	fmt.Printf("cache:        %.1f%% hit rate\n", 100*res.Total.CacheHitRate())
+	if chaosCtl != nil {
+		fmt.Printf("chaos:        %s\n", chaosCtl.Stats())
+	}
 	if res.AggGlobal != nil {
 		if pc, ok := res.AggGlobal.(algo.PatternCounts); ok {
 			if fsm, ok2 := a.(*algo.FreqSubgraph); ok2 {

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseProfile builds a Profile from a CLI spec. Named profiles:
+//
+//	off      — zero profile (inject nothing)
+//	default  — Default(seed)
+//	heavy    — Heavy(seed)
+//
+// Anything else is a comma-separated key=value list:
+//
+//	drop=0.05,dup=0.01,delay=0.2,delaymin=200us,delaymax=2ms,reorder=0.02
+//	crash=1@15ms           crash worker 1 at t=15ms (failure-detector recovery)
+//	crash=1@15ms+40ms      ... and respawn it 40ms after the kill
+//	partition=0@30ms-45ms  black-hole node 0 between t=30ms and t=45ms
+//
+// crash= and partition= may repeat. The seed argument is applied to the
+// returned profile in all cases.
+func ParseProfile(spec string, seed uint64) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "off", "none":
+		return Profile{Seed: seed}, nil
+	case "default", "mild":
+		return Default(seed), nil
+	case "heavy":
+		return Heavy(seed), nil
+	}
+	p := Profile{Seed: seed}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("chaos: bad profile field %q (want key=value)", field)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "drop":
+			p.Drop, err = parseRate(val)
+		case "dup":
+			p.Dup, err = parseRate(val)
+		case "delay":
+			p.Delay, err = parseRate(val)
+		case "reorder":
+			p.Reorder, err = parseRate(val)
+		case "delaymin":
+			p.DelayMin, err = time.ParseDuration(val)
+		case "delaymax":
+			p.DelayMax, err = time.ParseDuration(val)
+		case "crash":
+			var c Crash
+			c, err = parseCrash(val)
+			p.Crashes = append(p.Crashes, c)
+		case "partition":
+			var w Window
+			w, err = parseWindow(val)
+			p.Partitions = append(p.Partitions, w)
+		default:
+			return Profile{}, fmt.Errorf("chaos: unknown profile key %q", key)
+		}
+		if err != nil {
+			return Profile{}, fmt.Errorf("chaos: field %q: %w", field, err)
+		}
+	}
+	return p, nil
+}
+
+func parseRate(s string) (float64, error) {
+	x, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if x < 0 || x > 1 {
+		return 0, fmt.Errorf("rate %v outside [0, 1]", x)
+	}
+	return x, nil
+}
+
+// parseCrash parses NODE@AT or NODE@AT+RECOVER.
+func parseCrash(s string) (Crash, error) {
+	nodeStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("want NODE@AT[+RECOVER], got %q", s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil || node < 0 {
+		return Crash{}, fmt.Errorf("bad node %q", nodeStr)
+	}
+	atStr, recStr, hasRec := strings.Cut(rest, "+")
+	at, err := time.ParseDuration(atStr)
+	if err != nil {
+		return Crash{}, err
+	}
+	c := Crash{Node: node, At: at}
+	if hasRec {
+		if c.RecoverAfter, err = time.ParseDuration(recStr); err != nil {
+			return Crash{}, err
+		}
+	}
+	return c, nil
+}
+
+// parseWindow parses NODE@FROM-TO.
+func parseWindow(s string) (Window, error) {
+	nodeStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Window{}, fmt.Errorf("want NODE@FROM-TO, got %q", s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil || node < 0 {
+		return Window{}, fmt.Errorf("bad node %q", nodeStr)
+	}
+	fromStr, toStr, ok := strings.Cut(rest, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("want NODE@FROM-TO, got %q", s)
+	}
+	from, err := time.ParseDuration(fromStr)
+	if err != nil {
+		return Window{}, err
+	}
+	to, err := time.ParseDuration(toStr)
+	if err != nil {
+		return Window{}, err
+	}
+	if to <= from {
+		return Window{}, fmt.Errorf("empty window %v-%v", from, to)
+	}
+	return Window{Node: node, From: from, To: to}, nil
+}
+
+// String renders stats for the CLI exit summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d sends: %d dropped, %d delayed, %d duplicated, %d reordered, %d partitioned",
+		s.Sends, s.Drops, s.Delays, s.Dups, s.Reorders, s.Partitions)
+}

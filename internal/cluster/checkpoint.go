@@ -60,9 +60,9 @@ func decodeSnapshot(b []byte) (*workerSnapshot, error) {
 	s.SeedCursor = r.Varint()
 	s.SeedsDone = r.Bool()
 	s.TaskBytes = r.BytesField()
-	n := r.Uvarint()
+	n := r.Count(1)
 	s.Results = make([]string, 0, n)
-	for i := uint64(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		s.Results = append(s.Results, r.String())
 	}
 	if r.Bool() {

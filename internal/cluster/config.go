@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"gminer/internal/chaos"
 	"gminer/internal/partition"
 	"gminer/internal/trace"
 )
@@ -59,6 +60,18 @@ type Config struct {
 	// FailTimeout marks a worker dead after this silence; 0 disables
 	// failure detection.
 	FailTimeout time.Duration
+
+	// PullRetryBase is the initial wait before re-issuing an unanswered
+	// pull request; retries back off exponentially (with jitter) up to
+	// PullRetryMax. Defaults scale with ProgressInterval.
+	PullRetryBase time.Duration
+	PullRetryMax  time.Duration
+
+	// Chaos, if non-nil, wraps every node's endpoint with the seeded
+	// fault-injection layer (internal/chaos) and executes the profile's
+	// crash schedule against live workers. Crash entries require the
+	// local transport (UseTCP false).
+	Chaos *chaos.Controller
 
 	// Partitioner distributes vertices to workers; default BDG (§6.1).
 	Partitioner partition.Partitioner
@@ -120,6 +133,15 @@ func (c Config) Defaults() Config {
 	}
 	if c.ProgressInterval <= 0 {
 		c.ProgressInterval = 2 * time.Millisecond
+	}
+	if c.PullRetryBase <= 0 {
+		// First retry after ~30 report periods: late enough that a slow
+		// response usually wins the race, early enough that a lost batch
+		// does not stall the CMQ window for long.
+		c.PullRetryBase = 30 * c.ProgressInterval
+	}
+	if c.PullRetryMax <= 0 {
+		c.PullRetryMax = 16 * c.PullRetryBase
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = partition.BDG{}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"testing"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+)
+
+// Fuzz targets for every decoder that consumes bytes off the wire. The
+// transport delivers whatever a peer (or a chaos-corrupted frame) sends,
+// so decoders must reject arbitrary input without panicking or allocating
+// proportionally to an attacker-chosen length prefix.
+
+func FuzzDecodePullResp(f *testing.F) {
+	f.Add(encodePullResp(nil, nil))
+	v := &graph.Vertex{ID: 3, Label: 1, Attrs: []int32{7}, Adj: []graph.VertexID{1, 2}}
+	f.Add(encodePullResp([]*graph.Vertex{v}, []graph.VertexID{9}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}) // huge count, no payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodePullResp(data)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.Present && e.V == nil {
+				t.Fatal("present entry with nil vertex")
+			}
+		}
+	})
+}
+
+func FuzzDecodeTasks(f *testing.F) {
+	task := &core.Task{ID: 42, Cands: []graph.VertexID{1, 2, 3}}
+	task.Subgraph.AddEdge(1, 2)
+	f.Add(encodeTasks(nil, core.NoContext{}))
+	f.Add(encodeTasks([]*core.Task{task}, core.NoContext{}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, err := decodeTasks(data, core.NoContext{})
+		if err != nil {
+			return
+		}
+		for _, task := range tasks {
+			if task == nil {
+				t.Fatal("decoded nil task without error")
+			}
+		}
+	})
+}
+
+func FuzzDecodeProgress(f *testing.F) {
+	f.Add(encodeProgress(&progressReport{Worker: 1, Inflight: 5, AggSet: true, AggBytes: []byte{1, 2}}))
+	f.Add(encodeProgress(&progressReport{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeProgress(data)
+	})
+}
+
+func FuzzDecodeMigrate(f *testing.F) {
+	f.Add(encodeMigrate(2, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = decodeMigrate(data)
+	})
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(encodeSnapshot(&workerSnapshot{Epoch: 3, SeedCursor: 7, Results: []string{"a", "b"}}))
+	f.Add(encodeSnapshot(&workerSnapshot{AggBytes: []byte{1}}))
+	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil snapshot without error")
+		}
+	})
+}

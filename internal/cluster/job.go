@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"gminer/internal/chaos"
 	"gminer/internal/core"
 	"gminer/internal/graph"
 	"gminer/internal/metrics"
@@ -125,6 +126,23 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 		}
 	}
 
+	if cfg.Chaos != nil && cfg.Chaos.Profile().Active() {
+		if cfg.UseTCP && len(cfg.Chaos.Crashes()) > 0 {
+			return nil, fmt.Errorf("cluster: chaos crash windows require the local transport")
+		}
+		// Task migration payloads carry the tasks themselves: the protocol
+		// has no ack/retransmit for them, so a dropped or duplicated
+		// msgTasks would lose or double-count work with no recovery path
+		// (the same hole the paper's checkpointing closes for crashes).
+		// Fault everything else.
+		cfg.Chaos.Exempt(msgTasks)
+		cfg.Chaos.SetTracer(cfg.Tracer)
+		cfg.Chaos.Begin()
+		for i := range endpoints {
+			endpoints[i] = cfg.Chaos.Wrap(endpoints[i])
+		}
+	}
+
 	sink, err := newSnapshotSink(cfg.CheckpointDir)
 	if err != nil {
 		return nil, err
@@ -160,7 +178,45 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 		j.autoRecover = true
 		go j.recoveryLoop()
 	}
+	if cfg.Chaos != nil {
+		for _, cr := range cfg.Chaos.Crashes() {
+			if cr.Node < 0 || cr.Node >= cfg.Workers {
+				continue
+			}
+			go j.runCrash(cr)
+		}
+	}
 	return j, nil
+}
+
+// runCrash executes one scheduled chaos crash: kill the worker at cr.At,
+// then bring it back — after cr.RecoverAfter if set, via the failure
+// detector's recovery loop if one is running, or after a short fallback
+// delay so an unattended run still terminates.
+func (j *Job) runCrash(cr chaos.Crash) {
+	t := time.NewTimer(cr.At)
+	defer t.Stop()
+	select {
+	case <-j.master.doneCh:
+		return
+	case <-t.C:
+	}
+	j.KillWorker(cr.Node)
+	wait := cr.RecoverAfter
+	if wait <= 0 {
+		if j.autoRecover {
+			return
+		}
+		wait = 25 * j.cfg.ProgressInterval
+	}
+	t2 := time.NewTimer(wait)
+	defer t2.Stop()
+	select {
+	case <-j.master.doneCh:
+		return
+	case <-t2.C:
+	}
+	_ = j.RecoverWorker(cr.Node)
 }
 
 // Run starts a job and waits for its result.
@@ -198,6 +254,11 @@ func (j *Job) RecoverWorker(i int) error {
 		ep = j.netLocal.Endpoint(i)
 	} else {
 		return fmt.Errorf("cluster: recovery requires the local transport")
+	}
+	// The replacement worker must see the same faulty network the rest of
+	// the cluster does.
+	if j.cfg.Chaos != nil {
+		ep = j.cfg.Chaos.Wrap(ep)
 	}
 	w, err := newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, snap)
 	if err != nil {

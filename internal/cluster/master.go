@@ -43,7 +43,7 @@ type master struct {
 
 func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
 	counters *metrics.Counters, failures chan<- int) *master {
-	return &master{
+	m := &master{
 		cfg:      cfg,
 		ep:       ep,
 		agg:      agg,
@@ -57,6 +57,14 @@ func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
 		stopCh:   make(chan struct{}),
 		lastCkpt: time.Now(),
 	}
+	// Start the silence clock at job launch so a worker that dies before
+	// its first report is still detected; zero lastSeen would make such a
+	// worker invisible to the failure detector forever.
+	now := time.Now()
+	for i := range m.lastSeen {
+		m.lastSeen[i] = now
+	}
+	return m
 }
 
 // run is the master's main loop; it returns once the job has terminated
@@ -172,7 +180,9 @@ func (m *master) periodic() {
 		}
 		if m.ckptPending == 0 && time.Since(m.lastCkpt) >= m.cfg.CheckpointEvery {
 			m.epoch++
-			m.ckptPending = m.cfg.Workers
+			// Workers already marked dead will never ack; do not wait on
+			// them or the epoch stalls until the abandon timeout.
+			m.ckptPending = m.cfg.Workers - len(m.failed)
 			m.lastCkpt = time.Now()
 			m.broadcast(msgCheckpointReq, encodeEpoch(m.epoch))
 		}
@@ -189,6 +199,10 @@ func (m *master) periodic() {
 				m.failed[i] = true
 				m.recovered = true
 				m.stableRounds = 0
+				// A dead worker's checkpoint ack will never arrive: abandon
+				// the in-flight epoch now instead of letting it freeze task
+				// stealing and termination until the ack timeout expires.
+				m.ckptPending = 0
 				if m.failures != nil {
 					select {
 					case m.failures <- i:
@@ -239,11 +253,16 @@ func (m *master) checkTermination() bool {
 	}
 	m.lastPrint = print
 	// Widen the stability window when the simulated network is slow so an
-	// in-flight migration cannot slip past the quiescence check.
+	// in-flight migration cannot slip past the quiescence check. Chaos
+	// delay/reorder holds are invisible to the transport's latency model,
+	// so they widen the window the same way.
 	need := 3
 	if m.cfg.Latency > 0 {
 		extra := int(m.cfg.Latency/m.cfg.ProgressInterval)*2 + 1
 		need += extra
+	}
+	if d := m.cfg.Chaos.MaxDelay(); d > 0 {
+		need += int(d/m.cfg.ProgressInterval)*2 + 1
 	}
 	return m.stableRounds >= need
 }

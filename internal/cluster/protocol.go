@@ -137,9 +137,14 @@ type pulledVertex struct {
 
 func decodePullResp(b []byte) ([]pulledVertex, error) {
 	r := wire.NewReader(b)
-	n := r.Uvarint()
+	// Each entry is at least a present flag plus one varint byte; Count
+	// rejects length prefixes the payload cannot possibly satisfy.
+	n := r.Count(2)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]pulledVertex, 0, n)
-	for i := uint64(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		if r.Bool() {
 			v := wire.DecodeVertex(r)
 			if v == nil {
@@ -165,9 +170,14 @@ func encodeTasks(tasks []*core.Task, codec core.ContextCodec) []byte {
 
 func decodeTasks(b []byte, codec core.ContextCodec) ([]*core.Task, error) {
 	r := wire.NewReader(b)
-	n := r.Uvarint()
+	// An encoded task is ≥4 bytes (ID, round, subgraph and list length
+	// prefixes); reject counts the payload cannot hold.
+	n := r.Count(4)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]*core.Task, 0, n)
-	for i := uint64(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		t, err := core.DecodeTask(r, codec)
 		if err != nil {
 			return nil, err

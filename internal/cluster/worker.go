@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -28,12 +29,16 @@ type pendingTask struct {
 	remaining int
 }
 
-// pullState tracks one in-flight vertex pull: the tasks waiting for it and
-// when it was (last) requested, for retry after worker failures.
+// pullState tracks one in-flight vertex pull: the tasks waiting for it,
+// when it was (last) requested for the RTT metric, and the retry/backoff
+// state used when the request or response is lost to a crashed worker or
+// a lossy network.
 type pullState struct {
 	waiters     []*pendingTask
 	requestedAt time.Time
-	owner       int
+	retryAt     time.Time // next re-request time (exponential backoff)
+	attempts    int       // retries so far
+	owner       int       // last resolved owner (re-resolved on retry)
 }
 
 // Worker is one slave node (§5.1): it owns a graph partition (vertex
@@ -69,6 +74,9 @@ type Worker struct {
 	// same batching §6.2 applies to task migration).
 	pullBatch map[int][]graph.VertexID
 	pullCount int
+	// retryRng jitters pull-retry backoff so a lost batch does not come
+	// back as a synchronized burst. Guarded by pendMu.
+	retryRng *rand.Rand
 
 	// Progress counters.
 	inflight   atomic.Int64 // alive tasks owned by this worker
@@ -130,6 +138,7 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 		masterNode: cfg.Workers,
 		pulls:      make(map[graph.VertexID]*pullState),
 		pullBatch:  make(map[int][]graph.VertexID),
+		retryRng:   rand.New(rand.NewSource(0xfa17 + int64(id))),
 		snapshots:  snapshots,
 	}
 	w.pendCond = sync.NewCond(&w.pendMu)
@@ -388,7 +397,8 @@ func (w *Worker) dispatch(t *core.Task) {
 		ps, inFlight := w.pulls[id]
 		if !inFlight {
 			owner := w.assign.Owner(id)
-			ps = &pullState{requestedAt: time.Now(), owner: owner}
+			now := time.Now()
+			ps = &pullState{requestedAt: now, retryAt: now.Add(w.retryDelay(0)), owner: owner}
 			w.pulls[id] = ps
 			w.pullBatch[owner] = append(w.pullBatch[owner], id)
 			w.pullCount++
@@ -479,20 +489,50 @@ func (w *Worker) handlePullResp(payload []byte) {
 	}
 }
 
-// retryStalePulls re-issues pull requests that have been outstanding too
-// long (lost to a crashed worker; its replacement will serve the retry).
-func (w *Worker) retryStalePulls(olderThan time.Duration) {
+// retryDelay is the wait before retry number `attempts` of a pull:
+// exponential from PullRetryBase, capped at PullRetryMax, with ±25%
+// jitter so a lost batch does not retry as one synchronized burst.
+// Caller holds pendMu (the RNG is not otherwise synchronized).
+func (w *Worker) retryDelay(attempts int) time.Duration {
+	d := w.cfg.PullRetryBase
+	for i := 0; i < attempts && d < w.cfg.PullRetryMax; i++ {
+		d *= 2
+	}
+	if d > w.cfg.PullRetryMax {
+		d = w.cfg.PullRetryMax
+	}
+	if half := int64(d) / 2; half > 0 {
+		d = d*3/4 + time.Duration(w.retryRng.Int63n(half))
+	}
+	return d
+}
+
+// retryStalePulls re-issues pull requests whose responses are overdue
+// (request or response lost to a crashed worker or a lossy network).
+// Each retry re-resolves the vertex owner instead of trusting the
+// snapshot taken at request time: after a failure + recovery the owner
+// assignment is re-read, so a stale snapshot could target the wrong
+// node forever. Retries back off exponentially with jitter (capped) so
+// a dead owner is probed, not hammered.
+func (w *Worker) retryStalePulls() {
 	now := time.Now()
 	need := make(map[int][]graph.VertexID)
 	w.pendMu.Lock()
 	for id, ps := range w.pulls {
-		if now.Sub(ps.requestedAt) > olderThan {
-			ps.requestedAt = now
-			need[ps.owner] = append(need[ps.owner], id)
+		if now.Before(ps.retryAt) {
+			continue
 		}
+		ps.attempts++
+		if owner := w.assign.Owner(id); owner >= 0 {
+			ps.owner = owner
+		}
+		ps.requestedAt = now
+		ps.retryAt = now.Add(w.retryDelay(ps.attempts))
+		need[ps.owner] = append(need[ps.owner], id)
 	}
 	w.pendMu.Unlock()
 	for owner, ids := range need {
+		w.trRetr.Event(trace.EvPullRetry, uint64(len(ids)))
 		_ = w.ep.Send(owner, msgPullReq, encodePullReq(ids))
 	}
 }
@@ -707,7 +747,7 @@ func (w *Worker) progressLoop() {
 		// Flush tasks and pull requests stranded below batch thresholds.
 		w.flushBatch(w.buffer.drain())
 		w.flushPulls()
-		w.retryStalePulls(50 * w.cfg.ProgressInterval)
+		w.retryStalePulls()
 		w.observeMemory()
 
 		rep := &progressReport{

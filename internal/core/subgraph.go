@@ -119,10 +119,12 @@ func encodeSubgraph(w *wire.Writer, s *Subgraph) {
 func decodeSubgraph(r *wire.Reader) Subgraph {
 	var s Subgraph
 	s.verts = wire.DecodeIDs(r)
-	n := r.Uvarint()
+	// Each edge is two varints, ≥2 bytes; Count bounds the allocation
+	// against the bytes actually present (fuzz hardening).
+	n := r.Count(2)
 	if n > 0 {
 		s.edges = make([][2]graph.VertexID, 0, n)
-		for i := uint64(0); i < n; i++ {
+		for i := 0; i < n; i++ {
 			u := graph.VertexID(r.Varint())
 			v := graph.VertexID(r.Varint())
 			s.edges = append(s.edges, [2]graph.VertexID{u, v})

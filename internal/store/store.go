@@ -412,9 +412,9 @@ func (s *Store) Snapshot() ([]byte, error) {
 // DecodeSnapshot parses tasks from a Snapshot payload.
 func DecodeSnapshot(data []byte, codec core.ContextCodec) ([]*core.Task, error) {
 	r := wire.NewReader(data)
-	n := r.Uvarint()
+	n := r.Count(1)
 	tasks := make([]*core.Task, 0, n)
-	for i := uint64(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		t, err := core.DecodeTask(wire.NewReader(r.BytesField()), codec)
 		if err != nil {
 			return nil, err

@@ -70,6 +70,13 @@ const (
 	// Transport. Arg = frame bytes.
 	EvNetSend
 
+	// Fault injection (internal/chaos). Arg = fault kind << 8 | message
+	// type, so a trace dump shows both what was injected and on which
+	// protocol message.
+	EvFaultInjected
+	// Pull retry/backoff: a stale pull was re-issued. Arg = vertex count.
+	EvPullRetry
+
 	numEventTypes
 )
 
@@ -104,6 +111,8 @@ var eventNames = [numEventTypes]string{
 	EvCheckpointBegin: "checkpoint_begin",
 	EvCheckpointEnd:   "checkpoint_end",
 	EvNetSend:         "net_send",
+	EvFaultInjected:   "fault_injected",
+	EvPullRetry:       "pull_retry",
 }
 
 // Component is the pipeline component an event belongs to; it becomes the

@@ -25,6 +25,11 @@ type TCPNetwork struct {
 	counters []*metrics.Counters
 	tracer   *trace.Tracer
 
+	// dialTimeout bounds connection establishment; sendTimeout bounds each
+	// frame write so a wedged peer cannot block a sender forever.
+	dialTimeout time.Duration
+	sendTimeout time.Duration
+
 	mu        sync.Mutex
 	addrs     []string
 	listeners []net.Listener
@@ -36,11 +41,13 @@ type TCPNetwork struct {
 // ports. counters may be nil or hold one sink per node.
 func NewTCP(nodes int, counters []*metrics.Counters) (*TCPNetwork, error) {
 	n := &TCPNetwork{
-		nodes:     nodes,
-		counters:  counters,
-		addrs:     make([]string, nodes),
-		listeners: make([]net.Listener, nodes),
-		endpoints: make([]*tcpEndpoint, nodes),
+		nodes:       nodes,
+		counters:    counters,
+		dialTimeout: 5 * time.Second,
+		sendTimeout: 5 * time.Second,
+		addrs:       make([]string, nodes),
+		listeners:   make([]net.Listener, nodes),
+		endpoints:   make([]*tcpEndpoint, nodes),
 	}
 	for i := 0; i < nodes; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -60,6 +67,14 @@ func NewTCP(nodes int, counters []*metrics.Counters) (*TCPNetwork, error) {
 // SetTracer attaches a tracer recording one EvNetSend per frame sent;
 // call before the network is shared. Nil is allowed.
 func (n *TCPNetwork) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// SetTimeouts overrides the dial and per-frame write timeouts (both
+// default to 5s). Zero disables the corresponding deadline. Call before
+// the network is shared.
+func (n *TCPNetwork) SetTimeouts(dial, send time.Duration) {
+	n.dialTimeout = dial
+	n.sendTimeout = send
+}
 
 // Endpoint returns node i's endpoint.
 func (n *TCPNetwork) Endpoint(node int) Endpoint { return n.endpoints[node] }
@@ -126,10 +141,6 @@ func (e *tcpEndpoint) Send(to int, typ uint8, payload []byte) error {
 	if to < 0 || to >= e.net.nodes {
 		return fmt.Errorf("transport: invalid destination node %d", to)
 	}
-	conn, err := e.conn(to)
-	if err != nil {
-		return err
-	}
 	frame := make([]byte, 4+5+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(5+len(payload)))
 	frame[4] = typ
@@ -138,29 +149,46 @@ func (e *tcpEndpoint) Send(to int, typ uint8, payload []byte) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := conn.Write(frame); err != nil {
-		delete(e.conns, to)
-		return fmt.Errorf("transport: send to node %d: %w", to, err)
+	// A cached connection may have died since the last send (peer restart,
+	// timed-out write): retry exactly once on a fresh dial before surfacing
+	// the failure, so a transient disconnect is invisible to callers while
+	// a truly dead peer still fails fast.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := e.connLocked(to)
+		if err != nil {
+			return err
+		}
+		if d := e.net.sendTimeout; d > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		if _, err := conn.Write(frame); err != nil {
+			lastErr = err
+			_ = conn.Close()
+			delete(e.conns, to)
+			continue
+		}
+		if e.net.counters != nil && e.node < len(e.net.counters) && e.net.counters[e.node] != nil {
+			e.net.counters[e.node].AddNet(int64(len(frame)))
+		}
+		if e.net.tracer.Enabled() {
+			e.net.tracer.Handle(e.node, trace.CompNet).Event(trace.EvNetSend, uint64(len(frame)))
+		}
+		return nil
 	}
-	if e.net.counters != nil && e.node < len(e.net.counters) && e.net.counters[e.node] != nil {
-		e.net.counters[e.node].AddNet(int64(len(frame)))
-	}
-	if e.net.tracer.Enabled() {
-		e.net.tracer.Handle(e.node, trace.CompNet).Event(trace.EvNetSend, uint64(len(frame)))
-	}
-	return nil
+	return fmt.Errorf("transport: send to node %d: %w", to, lastErr)
 }
 
-func (e *tcpEndpoint) conn(to int) (net.Conn, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// connLocked returns the cached connection to peer `to`, dialing one if
+// needed. Caller holds e.mu.
+func (e *tcpEndpoint) connLocked(to int) (net.Conn, error) {
 	if e.closed {
 		return nil, fmt.Errorf("transport: endpoint %d closed", e.node)
 	}
 	if c, ok := e.conns[to]; ok {
 		return c, nil
 	}
-	c, err := net.DialTimeout("tcp", e.net.addrs[to], 5*time.Second)
+	c, err := net.DialTimeout("tcp", e.net.addrs[to], e.net.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
 	}

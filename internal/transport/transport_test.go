@@ -341,3 +341,62 @@ func TestLocalTracerCountsSends(t *testing.T) {
 		t.Fatalf("net_send events = %d, want 1", got)
 	}
 }
+
+// TestTCPReconnectAfterConnDrop kills the cached outbound connection
+// between two sends; the bounded-retry path in Send must redial and
+// deliver the second message without surfacing an error.
+func TestTCPReconnectAfterConnDrop(t *testing.T) {
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Endpoint(0).Send(1, 1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the cached connection out from under the sender (simulates a
+	// peer-side disconnect the sender has not noticed yet).
+	ep := n.endpoints[0]
+	ep.mu.Lock()
+	for _, c := range ep.conns {
+		_ = c.Close()
+	}
+	ep.mu.Unlock()
+	if err := n.Endpoint(0).Send(1, 2, []byte("after")); err != nil {
+		t.Fatalf("send after conn drop: %v", err)
+	}
+	got := map[uint8]string{}
+	for len(got) < 2 {
+		m, ok := n.Endpoint(1).RecvTimeout(2 * time.Second)
+		if !ok {
+			t.Fatalf("timed out, received %v", got)
+		}
+		got[m.Type] = string(m.Payload)
+	}
+	if got[1] != "before" || got[2] != "after" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestTCPSendFailsWhenPeerGone verifies the retry is bounded: once the
+// peer's listener is gone and no cached connection exists, Send returns
+// an error instead of retrying forever.
+func TestTCPSendFailsWhenPeerGone(t *testing.T) {
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetTimeouts(200*time.Millisecond, 200*time.Millisecond)
+	_ = n.listeners[1].Close()
+	ep := n.endpoints[0]
+	ep.mu.Lock()
+	for to, c := range ep.conns {
+		_ = c.Close()
+		delete(ep.conns, to)
+	}
+	ep.mu.Unlock()
+	if err := n.Endpoint(0).Send(1, 1, []byte("x")); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+}

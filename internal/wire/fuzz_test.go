@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"testing"
+
+	"gminer/internal/graph"
+)
+
+// FuzzDecodeVertex throws arbitrary bytes at the pull-response vertex
+// decoder: it must either return a vertex or set the reader's error, and
+// never allocate storage for more elements than the payload can encode.
+func FuzzDecodeVertex(f *testing.F) {
+	w := NewWriter(64)
+	EncodeVertex(w, &graph.Vertex{ID: 5, Label: 2, Attrs: []int32{1, 2}, Adj: []graph.VertexID{7, 9}})
+	f.Add(w.Bytes())
+	f.Add([]byte{5, 0, 0xff, 0xff, 0xff, 0xff, 0x0f}) // huge attr count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		v := DecodeVertex(r)
+		if v == nil && r.Err() == nil {
+			t.Fatal("nil vertex without reader error")
+		}
+		if v != nil && r.Err() != nil {
+			t.Fatal("vertex returned despite reader error")
+		}
+	})
+}
+
+func FuzzDecodeIDs(f *testing.F) {
+	w := NewWriter(32)
+	EncodeIDs(w, []graph.VertexID{3, 1, 4, 1, 5})
+	f.Add(w.Bytes())
+	f.Add([]byte{0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		ids := DecodeIDs(r)
+		if r.Err() == nil && len(data) > 0 && ids == nil && data[0] != 0 {
+			// nil is only valid for an empty list or an error.
+			if n := NewReader(data).Uvarint(); n != 0 {
+				t.Fatalf("lost %d ids without error", n)
+			}
+		}
+	})
+}

@@ -212,6 +212,25 @@ func (r *Reader) String() string {
 	return string(r.BytesField())
 }
 
+// Count reads a length prefix for a sequence whose elements each occupy
+// at least elemSize encoded bytes and validates it against the bytes
+// actually remaining. Decoders size allocations with it so malformed
+// (e.g. fuzzed) input cannot demand arbitrarily large buffers.
+func (r *Reader) Count(elemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > uint64(r.Remaining()/elemSize) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
 // Int64Slice reads a delta-encoded slice written by Writer.Int64Slice.
 func (r *Reader) Int64Slice() []int64 {
 	n := r.Uvarint()

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"testing"
 
 	"gminer/internal/graph"
@@ -33,6 +34,32 @@ func BenchmarkInsertEvictCycle(b *testing.B) {
 		id := graph.VertexID(i)
 		c.TryInsert(v(id))
 		c.Release(id)
+	}
+}
+
+// BenchmarkAcquireParallel is the contention benchmark behind the shard
+// design: GOMAXPROCS goroutines hammering Acquire/Release on a hot set,
+// at the paper's single-lock configuration (shards=1) and sharded.
+// cmd/bench runs the same loop standalone to produce BENCH_PR3.json.
+func BenchmarkAcquireParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := NewSharded(4096, shards, nil)
+			for i := 0; i < 4096; i++ {
+				c.Insert(v(graph.VertexID(i)))
+				c.Release(graph.VertexID(i))
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					id := graph.VertexID(i % 4096)
+					i++
+					c.Acquire(id)
+					c.Release(id)
+				}
+			})
+		})
 	}
 }
 

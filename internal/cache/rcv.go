@@ -6,6 +6,17 @@
 // "even a vertex with r = 0 could be referred again by a subsequent task".
 // If the cache is full and every entry is referenced, the retriever goes
 // to sleep until some task finishes a round and releases its references.
+//
+// The paper describes one cache per worker guarded by one lock; here the
+// cache is split into power-of-two shards keyed by a hash of the vertex
+// ID, so executor threads and the pull-response path do not serialize on
+// a single mutex. Each shard is an independent RCV cache with its own
+// capacity slice, zero-ref eviction list and full-of-referenced sleep:
+// an Insert of vertex v can only be satisfied by space in shard(v), so
+// waiting on that shard's condition variable preserves the paper's sleep
+// semantics exactly, per shard. Close wakes every shard (the global
+// wakeup). See DESIGN.md §5 for why per-shard lazy eviction preserves
+// the paper's reference-counting semantics.
 package cache
 
 import (
@@ -23,8 +34,9 @@ type entry struct {
 	prev, next *entry
 }
 
-// RCV is the reference-counting vertex cache. Safe for concurrent use.
-type RCV struct {
+// shard is one independent slice of the cache: the original single-lock
+// RCV structure, with its own capacity and sleep.
+type shard struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	capacity int
@@ -33,138 +45,207 @@ type RCV struct {
 	// head (oldest zero-ref), insert at tail.
 	zeroHead, zeroTail *entry
 	closed             bool
-	counters           *metrics.Counters
-	tr                 trace.Handle
 	bytes              int64
 }
 
-// New returns an RCV cache holding up to capacity vertices. counters may
-// be nil.
+// RCV is the reference-counting vertex cache. Safe for concurrent use.
+type RCV struct {
+	shards   []*shard
+	mask     uint64
+	capacity int
+	counters *metrics.Counters
+	tr       trace.Handle
+}
+
+// DefaultShards is the shard count used by cluster configurations that
+// leave it unset. Power of two; sized so 8–16 executor threads plus the
+// pull-response path rarely collide on one shard lock.
+const DefaultShards = 16
+
+// New returns a single-shard RCV cache holding up to capacity vertices —
+// the paper's original structure, and the reference semantics the sharded
+// variant must preserve. counters may be nil.
 func New(capacity int, counters *metrics.Counters) *RCV {
+	return NewSharded(capacity, 1, counters)
+}
+
+// NewSharded returns an RCV cache of `shards` independent shards (rounded
+// down to a power of two, clamped to [1, capacity]) holding up to
+// capacity vertices in total. Capacity is split evenly across shards,
+// with the remainder spread over the first shards so every shard holds at
+// least one vertex.
+func NewSharded(capacity, shards int, counters *metrics.Counters) *RCV {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	// Round down to a power of two so shardFor can mask instead of mod.
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
 	c := &RCV{
+		shards:   make([]*shard, n),
+		mask:     uint64(n - 1),
 		capacity: capacity,
-		entries:  make(map[graph.VertexID]*entry, capacity),
 		counters: counters,
 	}
-	c.cond = sync.NewCond(&c.mu)
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		s := &shard{capacity: sc, entries: make(map[graph.VertexID]*entry, sc)}
+		s.cond = sync.NewCond(&s.mu)
+		c.shards[i] = s
+	}
 	return c
+}
+
+// shardFor maps a vertex ID to its shard. The multiplier is the 64-bit
+// Fibonacci hashing constant (2^64/φ); using the top bits decorrelates
+// the sequential IDs synthetic graphs produce.
+func (c *RCV) shardFor(id graph.VertexID) *shard {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return c.shards[(h>>48)&c.mask]
 }
 
 // SetTrace attaches a trace handle; call before the cache is shared.
 func (c *RCV) SetTrace(h trace.Handle) { c.tr = h }
 
-// Capacity returns the configured capacity.
+// Capacity returns the configured total capacity.
 func (c *RCV) Capacity() int { return c.capacity }
+
+// Shards returns the shard count (introspection/tests).
+func (c *RCV) Shards() int { return len(c.shards) }
 
 // Bytes returns the estimated memory footprint of cached vertices.
 func (c *RCV) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
+	var total int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Len returns the current number of cached vertices.
 func (c *RCV) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Acquire looks up id and, if present, increments its reference count and
 // returns the vertex. Records a cache hit or miss.
 func (c *RCV) Acquire(id graph.VertexID) (*graph.Vertex, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	e, ok := s.entries[id]
 	if !ok {
+		s.mu.Unlock()
 		if c.counters != nil {
 			c.counters.CacheMiss()
 		}
 		c.tr.Event(trace.EvCacheMiss, uint64(id))
 		return nil, false
 	}
+	s.refLocked(e)
+	v := e.v
+	s.mu.Unlock()
 	if c.counters != nil {
 		c.counters.CacheHit()
 	}
 	c.tr.Event(trace.EvCacheHit, uint64(id))
-	c.refLocked(e)
-	return e.v, true
+	return v, true
 }
 
-func (c *RCV) refLocked(e *entry) {
+func (s *shard) refLocked(e *entry) {
 	if e.ref == 0 {
-		c.zeroRemove(e)
+		s.zeroRemove(e)
 	}
 	e.ref++
+}
+
+// evictLocked removes the oldest zero-ref entry of the shard.
+func (s *shard) evictLocked(c *RCV) {
+	victim := s.zeroHead
+	s.zeroRemove(victim)
+	delete(s.entries, victim.v.ID)
+	s.bytes -= victim.v.FootprintBytes()
+	c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
 }
 
 // Insert adds a pulled vertex with one reference held by the inserting
 // task. If the vertex is already cached (a concurrent pull landed first),
 // the existing entry gains a reference instead. Insert blocks while the
-// cache is full of referenced vertices; it returns false if the cache is
-// closed while waiting.
+// vertex's shard is full of referenced vertices; it returns false if the
+// cache is closed while waiting.
 func (c *RCV) Insert(v *graph.Vertex) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(v.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
-		if c.closed {
+		if s.closed {
 			return false
 		}
-		if e, ok := c.entries[v.ID]; ok {
-			c.refLocked(e)
+		if e, ok := s.entries[v.ID]; ok {
+			s.refLocked(e)
 			return true
 		}
-		if len(c.entries) < c.capacity {
+		if len(s.entries) < s.capacity {
 			break
 		}
 		// Full: replace the oldest zero-referenced vertex (lazy model).
-		if c.zeroHead != nil {
-			victim := c.zeroHead
-			c.zeroRemove(victim)
-			delete(c.entries, victim.v.ID)
-			c.bytes -= victim.v.FootprintBytes()
-			c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
+		if s.zeroHead != nil {
+			s.evictLocked(c)
 			break
 		}
 		// "if there is no vertex with r = 0 ... go to sleep until some
 		// tasks finish their computation and release the referred
 		// vertices" (§7).
-		c.cond.Wait()
+		s.cond.Wait()
 	}
 	e := &entry{v: v, ref: 1}
-	c.entries[v.ID] = e
-	c.bytes += v.FootprintBytes()
+	s.entries[v.ID] = e
+	s.bytes += v.FootprintBytes()
 	return true
 }
 
-// TryInsert is a non-blocking Insert: it returns false when the cache is
-// full of referenced vertices instead of sleeping. Used by the pull
-// response path, which must not block the worker's communication loop.
+// TryInsert is a non-blocking Insert: it returns false when the vertex's
+// shard is full of referenced vertices instead of sleeping. Used by the
+// pull response path, which must not block the worker's communication
+// loop.
 func (c *RCV) TryInsert(v *graph.Vertex) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	s := c.shardFor(v.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return false
 	}
-	if e, ok := c.entries[v.ID]; ok {
-		c.refLocked(e)
+	if e, ok := s.entries[v.ID]; ok {
+		s.refLocked(e)
 		return true
 	}
-	if len(c.entries) >= c.capacity {
-		if c.zeroHead == nil {
+	if len(s.entries) >= s.capacity {
+		if s.zeroHead == nil {
 			return false
 		}
-		victim := c.zeroHead
-		c.zeroRemove(victim)
-		delete(c.entries, victim.v.ID)
-		c.bytes -= victim.v.FootprintBytes()
-		c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
+		s.evictLocked(c)
 	}
-	c.entries[v.ID] = &entry{v: v, ref: 1}
-	c.bytes += v.FootprintBytes()
+	s.entries[v.ID] = &entry{v: v, ref: 1}
+	s.bytes += v.FootprintBytes()
 	return true
 }
 
@@ -175,47 +256,46 @@ func (c *RCV) TryInsert(v *graph.Vertex) bool {
 // references drain. Overflow entries are evicted by later TryInserts the
 // same way as ordinary zero-ref entries.
 func (c *RCV) ForceInsert(v *graph.Vertex) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	s := c.shardFor(v.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return
 	}
-	if e, ok := c.entries[v.ID]; ok {
-		c.refLocked(e)
+	if e, ok := s.entries[v.ID]; ok {
+		s.refLocked(e)
 		return
 	}
-	c.entries[v.ID] = &entry{v: v, ref: 1}
-	c.bytes += v.FootprintBytes()
+	s.entries[v.ID] = &entry{v: v, ref: 1}
+	s.bytes += v.FootprintBytes()
 }
 
 // Release decrements the reference counts of the given vertices, called
 // when a task referring to them completes a round of computation. IDs not
 // present are ignored (they were local-partition vertices).
 func (c *RCV) Release(ids ...graph.VertexID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	released := false
 	for _, id := range ids {
-		e, ok := c.entries[id]
+		s := c.shardFor(id)
+		s.mu.Lock()
+		e, ok := s.entries[id]
 		if !ok || e.ref == 0 {
+			s.mu.Unlock()
 			continue
 		}
 		e.ref--
+		released := false
 		if e.ref == 0 {
-			c.zeroAppend(e)
+			s.zeroAppend(e)
 			released = true
 		}
-	}
-	// Shed ForceInsert overflow now that references drained.
-	for len(c.entries) > c.capacity && c.zeroHead != nil {
-		victim := c.zeroHead
-		c.zeroRemove(victim)
-		delete(c.entries, victim.v.ID)
-		c.bytes -= victim.v.FootprintBytes()
-		c.tr.Event(trace.EvCacheEvict, uint64(victim.v.ID))
-	}
-	if released {
-		c.cond.Broadcast()
+		// Shed ForceInsert overflow now that references drained.
+		for len(s.entries) > s.capacity && s.zeroHead != nil {
+			s.evictLocked(c)
+		}
+		if released {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -223,9 +303,10 @@ func (c *RCV) Release(ids ...graph.VertexID) {
 // by the executor to resolve a ready task's remote candidates (whose
 // references are already held).
 func (c *RCV) Peek(id graph.VertexID) (*graph.Vertex, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
 	if !ok {
 		return nil, false
 	}
@@ -234,44 +315,48 @@ func (c *RCV) Peek(id graph.VertexID) (*graph.Vertex, bool) {
 
 // Refs returns the current reference count of id (testing/introspection).
 func (c *RCV) Refs(id graph.VertexID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[id]; ok {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
 		return e.ref
 	}
 	return -1
 }
 
-// Close unblocks any waiting Insert calls; subsequent Inserts fail.
+// Close unblocks any waiting Insert calls on every shard; subsequent
+// Inserts fail.
 func (c *RCV) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	c.cond.Broadcast()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
 }
 
 // zeroAppend pushes e at the tail of the zero-ref list.
-func (c *RCV) zeroAppend(e *entry) {
-	e.prev, e.next = c.zeroTail, nil
-	if c.zeroTail != nil {
-		c.zeroTail.next = e
+func (s *shard) zeroAppend(e *entry) {
+	e.prev, e.next = s.zeroTail, nil
+	if s.zeroTail != nil {
+		s.zeroTail.next = e
 	} else {
-		c.zeroHead = e
+		s.zeroHead = e
 	}
-	c.zeroTail = e
+	s.zeroTail = e
 }
 
 // zeroRemove unlinks e from the zero-ref list.
-func (c *RCV) zeroRemove(e *entry) {
+func (s *shard) zeroRemove(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		c.zeroHead = e.next
+		s.zeroHead = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		c.zeroTail = e.prev
+		s.zeroTail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }

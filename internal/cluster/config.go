@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"gminer/internal/cache"
 	"gminer/internal/chaos"
 	"gminer/internal/partition"
 	"gminer/internal/trace"
@@ -18,6 +19,11 @@ type Config struct {
 
 	// CacheCapacity is the RCV cache size in vertices per worker.
 	CacheCapacity int
+	// CacheShards is the RCV cache shard count per worker (rounded down
+	// to a power of two). 1 reproduces the paper's single-lock cache;
+	// higher counts let executor threads and the pull-response path work
+	// on disjoint shards without contending. Default cache.DefaultShards.
+	CacheShards int
 	// StoreMemCapacity is the number of inactive tasks a worker keeps in
 	// memory before the task store spills blocks to disk.
 	StoreMemCapacity int
@@ -93,6 +99,13 @@ type Config struct {
 	// Create it with trace.New(Workers+1, ...) so the master has a ring.
 	Tracer *trace.Tracer
 
+	// PullServeWorkers is the size of the per-worker pool serving
+	// incoming pull requests. With 1, responses are encoded inline on the
+	// communication loop (the paper's request listener); more workers
+	// stop one large neighborhood read from head-of-line-blocking every
+	// other requester's response.
+	PullServeWorkers int
+
 	// MaxPendingPulls bounds tasks waiting in the CMQ per worker.
 	MaxPendingPulls int
 	// CPQHighWater bounds the ready-task computation queue per worker.
@@ -112,6 +125,12 @@ func (c Config) Defaults() Config {
 	}
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = 8192
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = cache.DefaultShards
+	}
+	if c.PullServeWorkers <= 0 {
+		c.PullServeWorkers = 4
 	}
 	if c.StoreMemCapacity <= 0 {
 		c.StoreMemCapacity = 8192

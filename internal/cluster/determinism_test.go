@@ -1,0 +1,95 @@
+package cluster_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gminer/internal/algo"
+	"gminer/internal/cluster"
+	"gminer/internal/core"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+)
+
+// goldenRun executes one workload and flattens its result into a single
+// comparable string: the sorted output records plus the final aggregator
+// value. Byte-identical goldens across configurations prove that cache
+// sharding and pooled wire buffers change performance, not results — a
+// pooled-buffer aliasing bug would corrupt records or counts here.
+func goldenRun(t *testing.T, g *graph.Graph, a core.Algorithm, shards int) string {
+	t.Helper()
+	cfg := cluster.Config{
+		Workers:          3,
+		Threads:          2,
+		CacheCapacity:    512,
+		CacheShards:      shards,
+		StoreMemCapacity: 256,
+		UseLSH:           true,
+		// Stealing off: the record set must be a pure function of
+		// (graph, algorithm, partitioning).
+		Stealing: false,
+	}
+	res, err := cluster.Run(g, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, rec := range res.Records {
+		b.WriteString(rec)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "agg=%v\n", res.AggGlobal)
+	return b.String()
+}
+
+// TestGoldenDeterminismTriangle: the triangle workload must produce
+// byte-identical output across shard counts 1 and 16 and across repeated
+// runs at the same seed.
+func TestGoldenDeterminismTriangle(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 3000, Seed: 41})
+	tc := algo.NewTriangleCount()
+	baseline := goldenRun(t, g, tc, 1)
+	if want := algo.RefTriangles(g); !strings.Contains(baseline, fmt.Sprintf("agg=%d", want)) {
+		t.Fatalf("baseline disagrees with sequential reference %d:\n%s", want, tail(baseline))
+	}
+	for run := 0; run < 2; run++ {
+		for _, shards := range []int{1, 16} {
+			got := goldenRun(t, g, tc, shards)
+			if got != baseline {
+				t.Fatalf("run %d shards=%d diverged from shards=1 baseline\ngot:  %s\nwant: %s",
+					run, shards, tail(got), tail(baseline))
+			}
+		}
+	}
+}
+
+// TestGoldenDeterminismMatch: same golden check for the labeled
+// graph-match workload (the Figure 1 pattern).
+func TestGoldenDeterminismMatch(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 2500, Seed: 13})
+	gen.AssignLabels(g, 7, 99)
+	p := algo.FigurePattern()
+	gm := algo.NewGraphMatch(p)
+	baseline := goldenRun(t, g, gm, 1)
+	if want := algo.RefMatchCount(g, p); !strings.Contains(baseline, fmt.Sprintf("agg=%d", want)) {
+		t.Fatalf("baseline disagrees with sequential reference %d:\n%s", want, tail(baseline))
+	}
+	for run := 0; run < 2; run++ {
+		for _, shards := range []int{1, 16} {
+			got := goldenRun(t, g, gm, shards)
+			if got != baseline {
+				t.Fatalf("run %d shards=%d diverged from shards=1 baseline\ngot:  %s\nwant: %s",
+					run, shards, tail(got), tail(baseline))
+			}
+		}
+	}
+}
+
+// tail keeps failure messages readable when goldens hold many records.
+func tail(s string) string {
+	if len(s) > 400 {
+		return "..." + s[len(s)-400:]
+	}
+	return s
+}

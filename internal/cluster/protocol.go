@@ -64,6 +64,11 @@ type progressReport struct {
 
 func encodeProgress(p *progressReport) []byte {
 	w := wire.NewWriter(64)
+	encodeProgressInto(w, p)
+	return w.Bytes()
+}
+
+func encodeProgressInto(w *wire.Writer, p *progressReport) {
 	w.Int(p.Worker)
 	w.Varint(p.Inflight)
 	w.Varint(p.StoreSize)
@@ -76,7 +81,6 @@ func encodeProgress(p *progressReport) []byte {
 	if p.AggSet {
 		w.BytesField(p.AggBytes)
 	}
-	return w.Bytes()
 }
 
 func decodeProgress(b []byte) (*progressReport, error) {
@@ -100,8 +104,12 @@ func decodeProgress(b []byte) (*progressReport, error) {
 // encodePullReq / decodePullReq carry the vertex IDs to pull.
 func encodePullReq(ids []graph.VertexID) []byte {
 	w := wire.NewWriter(16 + 4*len(ids))
-	wire.EncodeIDs(w, ids)
+	encodePullReqInto(w, ids)
 	return w.Bytes()
+}
+
+func encodePullReqInto(w *wire.Writer, ids []graph.VertexID) {
+	wire.EncodeIDs(w, ids)
 }
 
 func decodePullReq(b []byte) ([]graph.VertexID, error) {
@@ -116,6 +124,11 @@ func decodePullReq(b []byte) ([]graph.VertexID, error) {
 // nil at update time).
 func encodePullResp(found []*graph.Vertex, missing []graph.VertexID) []byte {
 	w := wire.NewWriter(256)
+	encodePullRespInto(w, found, missing)
+	return w.Bytes()
+}
+
+func encodePullRespInto(w *wire.Writer, found []*graph.Vertex, missing []graph.VertexID) {
 	w.Uvarint(uint64(len(found) + len(missing)))
 	for _, v := range found {
 		w.Bool(true)
@@ -125,7 +138,6 @@ func encodePullResp(found []*graph.Vertex, missing []graph.VertexID) []byte {
 		w.Bool(false)
 		w.Varint(int64(id))
 	}
-	return w.Bytes()
 }
 
 // pulledVertex is one entry of a pull response.
@@ -161,11 +173,15 @@ func decodePullResp(b []byte) ([]pulledVertex, error) {
 // encodeTasks serializes a migration batch.
 func encodeTasks(tasks []*core.Task, codec core.ContextCodec) []byte {
 	w := wire.NewWriter(256 * len(tasks))
+	encodeTasksInto(w, tasks, codec)
+	return w.Bytes()
+}
+
+func encodeTasksInto(w *wire.Writer, tasks []*core.Task, codec core.ContextCodec) {
 	w.Uvarint(uint64(len(tasks)))
 	for _, t := range tasks {
 		core.EncodeTask(w, t, codec)
 	}
-	return w.Bytes()
 }
 
 func decodeTasks(b []byte, codec core.ContextCodec) ([]*core.Task, error) {

@@ -29,6 +29,12 @@ type pendingTask struct {
 	remaining int
 }
 
+// pullWork is one incoming pull request queued for the serve pool.
+type pullWork struct {
+	from    int
+	payload []byte
+}
+
 // pullState tracks one in-flight vertex pull: the tasks waiting for it,
 // when it was (last) requested for the RTT metric, and the retry/backoff
 // state used when the request or response is lost to a crashed worker or
@@ -74,6 +80,10 @@ type Worker struct {
 	// same batching §6.2 applies to task migration).
 	pullBatch map[int][]graph.VertexID
 	pullCount int
+	// pullSpare is the previous flush's batch map, kept (with its
+	// per-owner slices truncated) so steady-state flushing allocates
+	// neither the map nor the slices.
+	pullSpare map[int][]graph.VertexID
 	// retryRng jitters pull-retry backoff so a lost batch does not come
 	// back as a synchronized burst. Guarded by pendMu.
 	retryRng *rand.Rand
@@ -96,6 +106,14 @@ type Worker struct {
 	results []string
 
 	stealBackoff atomic.Int32
+
+	// pullServe feeds the pull-serve worker pool: the comm loop enqueues
+	// incoming pull requests and PullServeWorkers goroutines encode and
+	// send the responses, so one expensive neighborhood read cannot
+	// head-of-line-block every other requester. Nil when
+	// PullServeWorkers <= 1 (requests are served inline, the paper's
+	// single request listener).
+	pullServe chan pullWork
 
 	paused   atomic.Bool // checkpoint quiesce
 	killed   atomic.Bool // failure simulation: drop all work silently
@@ -195,7 +213,7 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 		LSHDims:       lshDims,
 		Seed:          0x5eed + uint64(id),
 	}, algo, sp, counters)
-	w.cache = cache.New(cfg.CacheCapacity, counters)
+	w.cache = cache.NewSharded(cfg.CacheCapacity, cfg.CacheShards, counters)
 	w.cache.SetTrace(cfg.Tracer.Handle(id, trace.CompCache))
 	w.cpq = newTaskQueue()
 	w.buffer = newTaskBuffer(cfg.BufferFlush)
@@ -214,6 +232,12 @@ func (w *Worker) start() {
 	loops := []func(){w.commLoop, w.retrieverLoop, w.seederLoop, w.progressLoop}
 	for i := 0; i < w.cfg.Threads; i++ {
 		loops = append(loops, w.executorLoop)
+	}
+	if w.cfg.PullServeWorkers > 1 {
+		w.pullServe = make(chan pullWork, 4*w.cfg.PullServeWorkers)
+		for i := 0; i < w.cfg.PullServeWorkers; i++ {
+			loops = append(loops, w.pullServeLoop)
+		}
 	}
 	w.wg.Add(len(loops))
 	for _, loop := range loops {
@@ -423,7 +447,11 @@ func (w *Worker) dispatch(t *core.Task) {
 	}
 }
 
-// flushPulls sends the accumulated per-destination pull requests.
+// flushPulls sends the accumulated per-destination pull requests. The
+// batch map and its per-owner slices are recycled between flushes (the
+// owner set is bounded by the cluster size, so retained keys with
+// truncated slices cost nothing), and requests are encoded into pooled
+// buffers — steady-state flushing is allocation-free.
 func (w *Worker) flushPulls() {
 	w.pendMu.Lock()
 	if w.pullCount == 0 {
@@ -431,13 +459,30 @@ func (w *Worker) flushPulls() {
 		return
 	}
 	batch := w.pullBatch
-	w.pullBatch = make(map[int][]graph.VertexID)
+	if w.pullSpare != nil {
+		w.pullBatch = w.pullSpare
+		w.pullSpare = nil
+	} else {
+		w.pullBatch = make(map[int][]graph.VertexID, len(batch))
+	}
 	w.pullCount = 0
 	w.pendMu.Unlock()
 	for owner, ids := range batch {
+		if len(ids) == 0 {
+			continue // recycled key from an earlier flush
+		}
 		w.trRetr.Event(trace.EvPullIssued, uint64(len(ids)))
-		_ = w.ep.Send(owner, msgPullReq, encodePullReq(ids))
+		wr := wire.GetWriter(16 + 4*len(ids))
+		encodePullReqInto(wr, ids)
+		_ = w.ep.Send(owner, msgPullReq, wr.Bytes())
+		wire.PutWriter(wr)
+		batch[owner] = ids[:0]
 	}
+	w.pendMu.Lock()
+	if w.pullSpare == nil {
+		w.pullSpare = batch
+	}
+	w.pendMu.Unlock()
 }
 
 // handlePullResp resolves arrived vertices against CMQ waiters.
@@ -533,7 +578,10 @@ func (w *Worker) retryStalePulls() {
 	w.pendMu.Unlock()
 	for owner, ids := range need {
 		w.trRetr.Event(trace.EvPullRetry, uint64(len(ids)))
-		_ = w.ep.Send(owner, msgPullReq, encodePullReq(ids))
+		wr := wire.GetWriter(16 + 4*len(ids))
+		encodePullReqInto(wr, ids)
+		_ = w.ep.Send(owner, msgPullReq, wr.Bytes())
+		wire.PutWriter(wr)
 	}
 }
 
@@ -640,7 +688,15 @@ func (w *Worker) commLoop() {
 		}
 		switch m.Type {
 		case msgPullReq:
-			w.servePull(m.From, m.Payload)
+			if w.pullServe != nil {
+				select {
+				case w.pullServe <- pullWork{from: m.From, payload: m.Payload}:
+				case <-w.stopCh:
+					return
+				}
+			} else {
+				w.servePull(m.From, m.Payload)
+			}
 		case msgPullResp:
 			w.handlePullResp(m.Payload)
 		case msgMigrate:
@@ -664,8 +720,24 @@ func (w *Worker) commLoop() {
 	}
 }
 
+// pullServeLoop drains the pull-serve queue; several of these run per
+// worker so responses to different requesters are encoded and sent
+// concurrently.
+func (w *Worker) pullServeLoop() {
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case req := <-w.pullServe:
+			w.servePull(req.from, req.payload)
+		}
+	}
+}
+
 // servePull answers a pull request from another worker with the requested
-// vertices from the local vertex table.
+// vertices from the local vertex table. The response is encoded into a
+// pooled buffer: Send copies the payload, so the buffer goes straight
+// back to the pool.
 func (w *Worker) servePull(from int, payload []byte) {
 	ids, err := decodePullReq(payload)
 	if err != nil {
@@ -680,7 +752,10 @@ func (w *Worker) servePull(from int, payload []byte) {
 			missing = append(missing, id)
 		}
 	}
-	_ = w.ep.Send(from, msgPullResp, encodePullResp(found, missing))
+	wr := wire.GetWriter(64 + 32*len(ids))
+	encodePullRespInto(wr, found, missing)
+	_ = w.ep.Send(from, msgPullResp, wr.Bytes())
+	wire.PutWriter(wr)
 }
 
 // handleMigrate serves a MIGRATE order from the master: steal up to Tnum
@@ -697,14 +772,16 @@ func (w *Worker) handleMigrate(payload []byte) {
 		return
 	}
 	w.trSteal.Event(trace.EvStealMigrate, uint64(len(tasks)))
-	payloadOut := encodeTasks(tasks, w.algo)
+	wr := wire.GetWriter(256 * len(tasks))
+	encodeTasksInto(wr, tasks, w.algo)
 	w.inflight.Add(-int64(len(tasks)))
 	w.activity.Add(int64(len(tasks)))
 	w.tasksSent.Add(int64(len(tasks)))
 	for range tasks {
 		w.counters.TaskStolen()
 	}
-	_ = w.ep.Send(thief, msgTasks, payloadOut)
+	_ = w.ep.Send(thief, msgTasks, wr.Bytes())
+	wire.PutWriter(wr)
 }
 
 // handleTasks admits a migration batch.
@@ -760,15 +837,22 @@ func (w *Worker) progressLoop() {
 			SeedsDone: w.seedsDone.Load(),
 			Results:   int64(w.resultCount()),
 		}
+		var aggW *wire.Writer
 		if w.agg != nil {
-			wr := wire.NewWriter(32)
+			aggW = wire.GetWriter(32)
 			w.aggMu.Lock()
-			w.agg.Encode(wr, w.aggPartial)
+			w.agg.Encode(aggW, w.aggPartial)
 			w.aggMu.Unlock()
 			rep.AggSet = true
-			rep.AggBytes = wr.Bytes()
+			rep.AggBytes = aggW.Bytes()
 		}
-		_ = w.ep.Send(w.masterNode, msgProgress, encodeProgress(rep))
+		pw := wire.GetWriter(64 + len(rep.AggBytes))
+		encodeProgressInto(pw, rep)
+		_ = w.ep.Send(w.masterNode, msgProgress, pw.Bytes())
+		wire.PutWriter(pw)
+		if aggW != nil {
+			wire.PutWriter(aggW)
+		}
 
 		if w.cfg.Stealing && w.seedsDone.Load() && w.inflight.Load() == 0 {
 			if w.stealBackoff.Load() > 0 {

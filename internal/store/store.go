@@ -171,11 +171,17 @@ func (s *Store) maybeSpillLocked() error {
 }
 
 func (s *Store) spillChunkLocked(chunk []item) error {
-	w := wire.NewWriter(1024 * len(chunk))
+	// Pooled buffers: the spiller copies (or writes out) the block during
+	// Write, and one scratch writer per chunk replaces the per-task
+	// writer the encode loop used to allocate.
+	w := wire.GetWriter(1024 * len(chunk))
+	defer wire.PutWriter(w)
+	tw := wire.GetWriter(256)
+	defer wire.PutWriter(tw)
 	w.Uvarint(uint64(len(chunk)))
 	for _, it := range chunk {
 		w.BytesField(it.key.Bytes())
-		tw := wire.NewWriter(256)
+		tw.Reset()
 		core.EncodeTask(tw, it.t, s.codec)
 		w.BytesField(tw.Bytes())
 		s.memBytes -= it.t.FootprintBytes()
@@ -383,9 +389,12 @@ func (s *Store) SpilledBlocks() int {
 func (s *Store) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// w is returned to the caller and must not come from the pool; the
+	// per-task scratch writer is pooled and reused across tasks.
 	w := wire.NewWriter(256 * s.size)
 	w.Uvarint(uint64(s.size))
-	tw := wire.NewWriter(256)
+	tw := wire.GetWriter(256)
+	defer wire.PutWriter(tw)
 	for _, it := range s.head {
 		tw.Reset()
 		core.EncodeTask(tw, it.t, s.codec)

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// writeAll exercises every Writer field type in a fixed order driven by
+// the given values, so a fresh writer and a reused writer can be compared
+// byte for byte.
+func writeAll(w *Writer, ints []int64, blob []byte, s string) {
+	w.Uvarint(uint64(len(ints)))
+	for _, x := range ints {
+		w.Varint(x)
+	}
+	w.Int(len(blob))
+	w.Bool(len(ints)%2 == 0)
+	w.Byte(0xAB)
+	w.Float64(float64(len(s)) * 1.5)
+	w.BytesField(blob)
+	w.String(s)
+	w.Int64Slice(ints)
+	xs32 := make([]int32, len(ints))
+	for i, x := range ints {
+		xs32[i] = int32(x)
+	}
+	w.Int32Slice(xs32)
+}
+
+// readAll decodes what writeAll wrote and reports whether every field
+// round-tripped; used by the fuzz target to prove a reused buffer decodes
+// identically to a fresh one.
+func readAll(t *testing.T, buf []byte, ints []int64, blob []byte, s string) {
+	t.Helper()
+	r := NewReader(buf)
+	if got := r.Uvarint(); got != uint64(len(ints)) {
+		t.Fatalf("count: got %d want %d", got, len(ints))
+	}
+	for i, want := range ints {
+		if got := r.Varint(); got != want {
+			t.Fatalf("varint %d: got %d want %d", i, got, want)
+		}
+	}
+	if got := r.Int(); got != len(blob) {
+		t.Fatalf("int: got %d want %d", got, len(blob))
+	}
+	if got := r.Bool(); got != (len(ints)%2 == 0) {
+		t.Fatalf("bool mismatch")
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Fatalf("byte: got %x", got)
+	}
+	if got := r.Float64(); got != float64(len(s))*1.5 {
+		t.Fatalf("float64: got %v", got)
+	}
+	if got := r.BytesField(); !bytes.Equal(got, blob) {
+		t.Fatalf("bytes field mismatch")
+	}
+	if got := r.String(); got != s {
+		t.Fatalf("string: got %q want %q", got, s)
+	}
+	got64 := r.Int64Slice()
+	if len(got64) != len(ints) {
+		t.Fatalf("int64 slice len: got %d want %d", len(got64), len(ints))
+	}
+	for i := range ints {
+		if got64[i] != ints[i] {
+			t.Fatalf("int64 slice %d: got %d want %d", i, got64[i], ints[i])
+		}
+	}
+	got32 := r.Int32Slice()
+	for i := range ints {
+		if got32[i] != int32(ints[i]) {
+			t.Fatalf("int32 slice %d: got %d want %d", i, got32[i], ints[i])
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+}
+
+// TestWriterReuseMatchesFresh: a writer that went through garbage writes,
+// Reset, and a pool round-trip must encode exactly like a fresh one.
+func TestWriterReuseMatchesFresh(t *testing.T) {
+	ints := []int64{0, 1, -1, 1 << 40, -(1 << 40), 63, -64}
+	blob := []byte{0, 255, 1, 2, 3}
+	const s = "pooled"
+
+	fresh := NewWriter(16)
+	writeAll(fresh, ints, blob, s)
+
+	reused := GetWriter(8)
+	reused.String("garbage that must vanish on reset")
+	reused.Reset()
+	writeAll(reused, ints, blob, s)
+	if !bytes.Equal(fresh.Bytes(), reused.Bytes()) {
+		t.Fatalf("reset-reused writer differs from fresh:\n%x\n%x", fresh.Bytes(), reused.Bytes())
+	}
+	PutWriter(reused)
+
+	again := GetWriter(8)
+	writeAll(again, ints, blob, s)
+	if !bytes.Equal(fresh.Bytes(), again.Bytes()) {
+		t.Fatalf("pool round-tripped writer differs from fresh:\n%x\n%x", fresh.Bytes(), again.Bytes())
+	}
+	readAll(t, again.Bytes(), ints, blob, s)
+	PutWriter(again)
+}
+
+// TestGetWriterCapacityAndEmptiness: pooled writers always come back
+// empty with at least the requested capacity.
+func TestGetWriterCapacityAndEmptiness(t *testing.T) {
+	w := GetWriter(4096)
+	if w.Len() != 0 {
+		t.Fatalf("pooled writer not empty: %d bytes", w.Len())
+	}
+	w.Uvarint(1 << 62)
+	PutWriter(w)
+	for i := 0; i < 4; i++ {
+		w2 := GetWriter(64)
+		if w2.Len() != 0 {
+			t.Fatalf("pooled writer carried %d stale bytes", w2.Len())
+		}
+		PutWriter(w2)
+	}
+}
+
+// TestLeakedWriterIsSafe: a writer that is never Put back must not
+// corrupt the pool or later writers — it is simply garbage.
+func TestLeakedWriterIsSafe(t *testing.T) {
+	leaked := GetWriter(128)
+	leaked.String("held hostage")
+	snapshot := append([]byte(nil), leaked.Bytes()...)
+
+	for i := 0; i < 100; i++ {
+		w := GetWriter(128)
+		w.Uvarint(uint64(i))
+		PutWriter(w)
+	}
+	runtime.GC()
+
+	// The leaked writer's bytes are still intact and usable.
+	if !bytes.Equal(leaked.Bytes(), snapshot) {
+		t.Fatal("leaked writer's buffer was clobbered by pool reuse")
+	}
+	leaked.Uvarint(7) // still writable
+	if leaked.Len() != len(snapshot)+1 {
+		t.Fatalf("leaked writer append broken: len=%d", leaked.Len())
+	}
+}
+
+// TestPutWriterDropsOversizedBuffers: giant buffers are not retained.
+func TestPutWriterDropsOversizedBuffers(t *testing.T) {
+	w := GetWriter(maxPooledCapacity + 1)
+	PutWriter(w) // must not panic; buffer is left to the GC
+	PutWriter(nil)
+}
+
+// FuzzWriterReuse: for arbitrary field values, encoding with a reused
+// (Reset + pool round-tripped) writer must match a fresh writer byte for
+// byte, and the encoding must decode back to the same values.
+func FuzzWriterReuse(f *testing.F) {
+	f.Add(int64(0), int64(-1), []byte{}, "")
+	f.Add(int64(1<<40), int64(-(1 << 62)), []byte{0, 1, 255}, "seed")
+	f.Add(int64(63), int64(-64), bytes.Repeat([]byte{0xAA}, 300), "長い文字列")
+	f.Fuzz(func(t *testing.T, a, b int64, blob []byte, s string) {
+		ints := []int64{a, b, a + b, a - b}
+		fresh := NewWriter(16)
+		writeAll(fresh, ints, blob, s)
+
+		reused := GetWriter(1)
+		reused.Int64Slice(ints) // garbage
+		reused.Reset()
+		writeAll(reused, ints, blob, s)
+		if !bytes.Equal(fresh.Bytes(), reused.Bytes()) {
+			t.Fatalf("reused writer encoding diverged")
+		}
+		readAll(t, reused.Bytes(), ints, blob, s)
+		PutWriter(reused)
+
+		roundTripped := GetWriter(1)
+		writeAll(roundTripped, ints, blob, s)
+		if !bytes.Equal(fresh.Bytes(), roundTripped.Bytes()) {
+			t.Fatalf("pool round-tripped writer encoding diverged")
+		}
+		readAll(t, roundTripped.Bytes(), ints, blob, s)
+		PutWriter(roundTripped)
+	})
+}

@@ -11,11 +11,7 @@ func EncodeVertex(w *Writer, v *graph.Vertex) {
 	w.Varint(int64(v.ID))
 	w.Varint(int64(v.Label))
 	w.Int32Slice(v.Attrs)
-	adj := make([]int64, len(v.Adj))
-	for i, n := range v.Adj {
-		adj[i] = int64(n)
-	}
-	w.Int64Slice(adj)
+	EncodeIDs(w, v.Adj)
 }
 
 // DecodeVertex reads a vertex encoded by EncodeVertex.
@@ -25,12 +21,8 @@ func DecodeVertex(r *Reader) *graph.Vertex {
 		Label: int32(r.Varint()),
 	}
 	v.Attrs = r.Int32Slice()
-	adj := r.Int64Slice()
-	if len(adj) > 0 {
-		v.Adj = make([]graph.VertexID, len(adj))
-		for i, n := range adj {
-			v.Adj[i] = graph.VertexID(n)
-		}
+	if adj := DecodeIDs(r); len(adj) > 0 {
+		v.Adj = adj
 	}
 	if r.Err() != nil {
 		return nil
@@ -38,24 +30,37 @@ func DecodeVertex(r *Reader) *graph.Vertex {
 	return v
 }
 
-// EncodeIDs appends a slice of vertex IDs (delta varints).
+// EncodeIDs appends a slice of vertex IDs, delta varints with the exact
+// byte format of Writer.Int64Slice but without the temporary []int64 the
+// conversion used to allocate per message — this runs once per pull
+// request, task-batch member and pull-response adjacency list.
 func EncodeIDs(w *Writer, ids []graph.VertexID) {
-	xs := make([]int64, len(ids))
-	for i, id := range ids {
-		xs[i] = int64(id)
+	w.Uvarint(uint64(len(ids)))
+	var prev int64
+	for _, id := range ids {
+		w.Varint(int64(id) - prev)
+		prev = int64(id)
 	}
-	w.Int64Slice(xs)
 }
 
 // DecodeIDs reads a slice written by EncodeIDs.
 func DecodeIDs(r *Reader) []graph.VertexID {
-	xs := r.Int64Slice()
-	if xs == nil {
+	n := r.Uvarint()
+	if r.Err() != nil {
 		return nil
 	}
-	ids := make([]graph.VertexID, len(xs))
-	for i, x := range xs {
-		ids[i] = graph.VertexID(x)
+	if n > uint64(r.Remaining()) { // each element needs >=1 byte
+		r.fail()
+		return nil
+	}
+	ids := make([]graph.VertexID, n)
+	var prev int64
+	for i := range ids {
+		prev += r.Varint()
+		ids[i] = graph.VertexID(prev)
+	}
+	if r.Err() != nil {
+		return nil
 	}
 	return ids
 }

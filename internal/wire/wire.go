@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrCorrupt is returned when decoding runs off the end of the buffer or
@@ -29,6 +30,43 @@ type Writer struct {
 // NewWriter returns a writer with the given capacity hint.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// writerPool recycles encode buffers for the hot send paths (pull
+// responses, pull requests, task batches, spill blocks): a steady-state
+// worker encodes thousands of messages per second, and without pooling
+// each one re-grows a buffer from its capacity hint.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// maxPooledCapacity bounds the buffers the pool retains. One giant
+// migration batch must not pin megabytes for the rest of the job; larger
+// buffers are left to the garbage collector on PutWriter.
+const maxPooledCapacity = 1 << 20
+
+// GetWriter returns an empty pooled writer with at least the given
+// capacity. Return it with PutWriter when the encoded bytes have been
+// consumed (transports copy payloads during Send, so putting the writer
+// back right after Send is safe). A writer that is never put back is
+// simply collected as garbage — leaking one is safe, reusing its Bytes
+// after PutWriter is not.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return w
+}
+
+// PutWriter resets w and returns it to the pool. The caller must not use
+// w or any slice obtained from w.Bytes() afterwards.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledCapacity {
+		return
+	}
+	w.buf = w.buf[:0]
+	writerPool.Put(w)
 }
 
 // Bytes returns the encoded buffer. The slice aliases internal storage.

@@ -50,6 +50,7 @@ func main() {
 		spillDir  = flag.String("spill", "", "task-store spill directory (default: in-memory)")
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint interval (0=off)")
+		resume    = flag.Bool("resume", false, "resume the job from the newest committed checkpoint in -checkpoint-dir")
 		cacheCap  = flag.Int("cache", 8192, "RCV cache capacity (vertices)")
 		storeCap  = flag.Int("store-mem", 8192, "in-memory task store capacity (tasks)")
 
@@ -63,6 +64,7 @@ func main() {
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos RNG seed; same seed, same fault sequence")
 
 		emit      = flag.Bool("emit", false, "print result records")
+		outPath   = flag.String("out", "", "write result records (sorted, one per line) to this file")
 		timeout   = flag.Duration("timeout", 0, "abort after this duration (0=none)")
 		httpAddr  = flag.String("http", "", "serve live job status over HTTP on this address (e.g. 127.0.0.1:8080)")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON dump (load in Perfetto) to this file")
@@ -92,6 +94,7 @@ func main() {
 		SpillDir:         *spillDir,
 		CheckpointDir:    *ckptDir,
 		CheckpointEvery:  *ckptEvery,
+		Resume:           *resume,
 	}
 	switch *part {
 	case "bdg":
@@ -130,6 +133,9 @@ func main() {
 	if chaosCtl != nil {
 		fmt.Printf("chaos:        profile %q, seed %d\n", *chaosProfile, *chaosSeed)
 	}
+	if *resume {
+		fmt.Printf("resume:       from newest committed epoch in %s\n", *ckptDir)
+	}
 
 	job, err := gminer.Start(g, a, cfg)
 	if err != nil {
@@ -163,6 +169,9 @@ func main() {
 	fmt.Printf("network:      %d msgs, %d bytes\n", res.Total.NetMsgs, res.Total.NetBytes)
 	fmt.Printf("disk spill:   %d bytes written, %d read\n", res.Total.DiskWrite, res.Total.DiskRead)
 	fmt.Printf("cache:        %.1f%% hit rate\n", 100*res.Total.CacheHitRate())
+	if res.LastCheckpointErr != nil {
+		fmt.Printf("checkpoint:   %d failed attempts, last: %v\n", res.Total.CkptFails, res.LastCheckpointErr)
+	}
 	if chaosCtl != nil {
 		fmt.Printf("chaos:        %s\n", chaosCtl.Stats())
 	}
@@ -196,6 +205,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace:        %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *outPath != "" {
+		var sb strings.Builder
+		for _, r := range res.Records {
+			sb.WriteString(r)
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*outPath, []byte(sb.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("records file: %s\n", *outPath)
 	}
 	if *emit {
 		for _, r := range res.Records {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,8 +24,14 @@ import (
 // emitted results + aggregator partial is a consistent cut. Thanks to the
 // task model "we do not need to checkpoint any message".
 //
-// Recovery re-runs the dead worker's tasks from its last snapshot; the
-// other workers keep their progress because tasks are independent.
+// Durability is epoch-committed: each worker writes a CRC32C-framed
+// worker-<i>.epoch-<N>.ckpt (fsync file and directory before exposing it),
+// acks the master with the payload checksum, and the master commits epoch
+// N to the MANIFEST only once every worker acked. Restore resolves epochs
+// through the manifest — newest committed first, previous committed as the
+// fallback when a file is torn or corrupt — so recovery never feeds
+// garbage to decodeSnapshot and never mixes epochs across workers on a
+// full-job resume.
 
 // workerSnapshot is one worker's checkpoint.
 type workerSnapshot struct {
@@ -71,70 +78,311 @@ func decodeSnapshot(b []byte) (*workerSnapshot, error) {
 	return s, r.Err()
 }
 
-// snapshotSink stores the latest checkpoint per worker: on disk when a
-// checkpoint directory is configured, in memory otherwise.
+// snapshotSink stores per-worker, per-epoch checkpoints plus the master's
+// committed-epoch manifest: on disk when a checkpoint directory is
+// configured, in memory otherwise. All methods are safe for concurrent use
+// (workers put, the master commits, the recovery path loads).
 type snapshotSink struct {
-	dir string
+	dir         string
+	workers     int
+	fingerprint uint64
 
 	mu  sync.Mutex
-	mem map[int][]byte
+	mem map[int64]map[int][]byte // epoch → worker → raw snapshot payload
+	man *manifest                // latest committed manifest, nil before the first commit
 }
 
-func newSnapshotSink(dir string) (*snapshotSink, error) {
-	s := &snapshotSink{dir: dir}
+// newSnapshotSink opens the sink. With resume set, an existing MANIFEST in
+// dir is loaded (the caller validates its fingerprint); without it, any
+// stale checkpoint state in dir belongs to a previous job and is removed
+// so in-job recovery can never restore another run's snapshot.
+func newSnapshotSink(dir string, workers int, fingerprint uint64, resume bool) (*snapshotSink, error) {
+	s := &snapshotSink{dir: dir, workers: workers, fingerprint: fingerprint}
 	if dir == "" {
-		s.mem = make(map[int][]byte)
+		s.mem = make(map[int64]map[int][]byte)
 		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	if !resume {
+		s.clearDir()
+		return s, nil
+	}
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	man, err := decodeManifest(b)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	s.man = man
 	return s, nil
 }
 
-func (s *snapshotSink) put(worker int, data []byte) error {
-	if s.mem != nil {
-		s.mu.Lock()
-		s.mem[worker] = append([]byte(nil), data...)
-		s.mu.Unlock()
-		return nil
+// clearDir removes the manifest and every checkpoint file of a previous
+// job sharing the directory.
+func (s *snapshotSink) clearDir() {
+	_ = os.Remove(filepath.Join(s.dir, manifestName))
+	matches, _ := filepath.Glob(filepath.Join(s.dir, "worker-*.ckpt"))
+	for _, m := range matches {
+		_ = os.Remove(m)
 	}
-	tmp := s.path(worker) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+	matches, _ = filepath.Glob(filepath.Join(s.dir, "worker-*.ckpt.tmp"))
+	for _, m := range matches {
+		_ = os.Remove(m)
 	}
-	return os.Rename(tmp, s.path(worker))
 }
 
-func (s *snapshotSink) get(worker int) (*workerSnapshot, error) {
-	var data []byte
+// manifestView returns the current committed manifest (nil before the
+// first commit).
+func (s *snapshotSink) manifestView() *manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man
+}
+
+// committedEpochs returns the restorable epochs newest-first.
+func (s *snapshotSink) committedEpochs() []int64 {
+	return s.manifestView().epochs()
+}
+
+// put persists one worker's snapshot for an epoch and returns the payload
+// checksum the worker acks to the master. On disk the write is framed,
+// fsync'd and renamed into place, then the directory is fsync'd, so a
+// crash at any point leaves either no file or a complete one.
+func (s *snapshotSink) put(worker int, epoch int64, data []byte) (uint32, error) {
+	crc := checksum(data)
 	if s.mem != nil {
 		s.mu.Lock()
-		data = s.mem[worker]
+		byWorker := s.mem[epoch]
+		if byWorker == nil {
+			byWorker = make(map[int][]byte)
+			s.mem[epoch] = byWorker
+		}
+		byWorker[worker] = append([]byte(nil), data...)
+		s.mu.Unlock()
+		return crc, nil
+	}
+	path := s.path(worker, epoch)
+	if err := writeFileDurable(path, frame(snapshotMagic, data)); err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	return crc, nil
+}
+
+// commit records epoch as the newest fully committed epoch: every worker's
+// file for it is durable and checksummed by `crcs`. The previous committed
+// epoch is retained as the restore fallback; anything older is GC'd. Run
+// by the master once all msgCheckpointDone acks for the epoch arrived.
+func (s *snapshotSink) commit(epoch int64, crcs []uint32) error {
+	if len(crcs) != s.workers {
+		return fmt.Errorf("checkpoint: commit epoch %d with %d checksums, want %d", epoch, len(crcs), s.workers)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := &manifest{
+		Fingerprint: s.fingerprint,
+		Workers:     s.workers,
+		Epoch:       epoch,
+		EpochCRCs:   append([]uint32(nil), crcs...),
+		PrevEpoch:   noEpoch,
+	}
+	if s.man != nil {
+		next.PrevEpoch = s.man.Epoch
+		next.PrevCRCs = s.man.EpochCRCs
+	}
+	if s.mem == nil {
+		if err := writeFileDurable(filepath.Join(s.dir, manifestName), encodeManifest(next)); err != nil {
+			return fmt.Errorf("checkpoint: manifest: %w", err)
+		}
+	}
+	s.man = next
+	s.gcLocked()
+	return nil
+}
+
+// gcLocked drops every epoch the manifest no longer vouches for, keeping
+// in-flight epochs newer than the committed one. Caller holds s.mu.
+func (s *snapshotSink) gcLocked() {
+	keep := func(epoch int64) bool {
+		return epoch >= s.man.Epoch || epoch == s.man.PrevEpoch
+	}
+	if s.mem != nil {
+		for epoch := range s.mem {
+			if !keep(epoch) {
+				delete(s.mem, epoch)
+			}
+		}
+		return
+	}
+	matches, _ := filepath.Glob(filepath.Join(s.dir, "worker-*.epoch-*.ckpt"))
+	for _, m := range matches {
+		var worker int
+		var epoch int64
+		if _, err := fmt.Sscanf(filepath.Base(m), "worker-%d.epoch-%d.ckpt", &worker, &epoch); err != nil {
+			continue
+		}
+		if !keep(epoch) {
+			_ = os.Remove(m)
+		}
+	}
+}
+
+// load reads one worker's snapshot for a committed epoch, verifying the
+// frame checksum and that it matches what the manifest recorded at commit
+// time (a leftover file from an abandoned epoch cannot impersonate a
+// committed one).
+func (s *snapshotSink) load(worker int, epoch int64) (*workerSnapshot, error) {
+	crcs := s.manifestView().crcsFor(epoch)
+	if crcs == nil {
+		return nil, fmt.Errorf("checkpoint: epoch %d is not committed", epoch)
+	}
+	if worker < 0 || worker >= len(crcs) {
+		return nil, fmt.Errorf("checkpoint: no worker %d in epoch %d", worker, epoch)
+	}
+	var payload []byte
+	var crc uint32
+	if s.mem != nil {
+		s.mu.Lock()
+		data := s.mem[epoch][worker]
 		s.mu.Unlock()
 		if data == nil {
-			return nil, nil // no checkpoint yet: restart from scratch
+			return nil, fmt.Errorf("checkpoint: worker %d epoch %d missing", worker, epoch)
 		}
+		payload, crc = data, checksum(data)
 	} else {
-		var err error
-		data, err = os.ReadFile(s.path(worker))
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
+		b, err := os.ReadFile(s.path(worker, epoch))
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: %w", err)
 		}
+		payload, crc, err = unframe(snapshotMagic, b)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return decodeSnapshot(data)
+	if crc != crcs[worker] {
+		return nil, fmt.Errorf("checkpoint: worker %d epoch %d checksum %08x does not match manifest %08x",
+			worker, epoch, crc, crcs[worker])
+	}
+	snap, err := decodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: worker %d epoch %d: %w", worker, epoch, err)
+	}
+	if snap.Epoch != epoch {
+		return nil, fmt.Errorf("checkpoint: worker %d file for epoch %d carries epoch %d", worker, epoch, snap.Epoch)
+	}
+	return snap, nil
 }
 
-func (s *snapshotSink) path(worker int) string {
-	return filepath.Join(s.dir, fmt.Sprintf("worker-%d.ckpt", worker))
+// get resolves one worker's snapshot from the newest committed epoch,
+// falling back to the previous committed epoch on a torn or corrupt file.
+// (nil, nil) means no committed checkpoint exists: restart from scratch.
+func (s *snapshotSink) get(worker int) (*workerSnapshot, error) {
+	var firstErr error
+	for _, epoch := range s.committedEpochs() {
+		snap, err := s.load(worker, epoch)
+		if err == nil {
+			return snap, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, nil
 }
 
-// checkpoint quiesces the pipeline and persists a snapshot, then notifies
-// the master. Runs on its own goroutine (must not block the comm loop,
-// which keeps serving pull requests during the global checkpoint).
+// loadAll resolves one consistent cut: the newest committed epoch whose
+// every worker snapshot verifies. A single bad file fails the whole epoch
+// over to the previous committed one, so a full-job resume never mixes
+// epochs across workers.
+func (s *snapshotSink) loadAll() (int64, []*workerSnapshot, error) {
+	var lastErr error
+	for _, epoch := range s.committedEpochs() {
+		snaps := make([]*workerSnapshot, s.workers)
+		ok := true
+		for w := 0; w < s.workers; w++ {
+			snap, err := s.load(w, epoch)
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			snaps[w] = snap
+		}
+		if ok {
+			return epoch, snaps, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("checkpoint: no committed epoch")
+	}
+	return 0, nil, lastErr
+}
+
+func (s *snapshotSink) path(worker int, epoch int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("worker-%d.epoch-%d.ckpt", worker, epoch))
+}
+
+// writeFileDurable writes data to path with the tmp + fsync + rename +
+// dir-fsync dance, so the named file is either absent or complete and
+// survives power loss once the call returns.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms cannot fsync directories; strings.Contains filters the
+// expected failure modes there rather than failing the checkpoint.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!strings.Contains(err.Error(), "invalid argument") &&
+		!strings.Contains(err.Error(), "not supported") {
+		return err
+	}
+	return nil
+}
+
+// checkpoint quiesces the pipeline and persists a snapshot, then acks the
+// master with the payload checksum. Runs on its own goroutine (must not
+// block the comm loop, which keeps serving pull requests during the global
+// checkpoint). Failure to snapshot or persist is acked negatively so the
+// master abandons the epoch immediately instead of waiting out a timeout.
 func (w *Worker) checkpoint(epoch int64) {
 	w.paused.Store(true)
 	defer w.paused.Store(false)
@@ -145,7 +393,7 @@ func (w *Worker) checkpoint(epoch int64) {
 	}
 
 	// Quiesce: wait until every alive task is inactive in the store.
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(w.cfg.CheckpointQuiesceTimeout)
 	for {
 		if w.stopped() {
 			return
@@ -156,7 +404,10 @@ func (w *Worker) checkpoint(epoch int64) {
 		}
 		if time.Now().After(deadline) {
 			// Could not quiesce (pathological pull starvation); skip this
-			// checkpoint rather than stall the job.
+			// checkpoint rather than stall the job. The negative ack lets
+			// the master abandon the epoch right away.
+			w.trCkpt.Event(trace.EvCheckpointSkip, uint64(epoch))
+			w.ackCheckpoint(epoch, 0, false)
 			return
 		}
 		time.Sleep(300 * time.Microsecond)
@@ -164,6 +415,7 @@ func (w *Worker) checkpoint(epoch int64) {
 
 	taskBytes, err := w.store.Snapshot()
 	if err != nil {
+		w.checkpointFailed(epoch, err)
 		return
 	}
 	snap := &workerSnapshot{
@@ -180,30 +432,65 @@ func (w *Worker) checkpoint(epoch int64) {
 		w.aggMu.Unlock()
 		snap.AggBytes = wr.Bytes()
 	}
+	var crc uint32
 	if w.snapshots != nil {
-		if err := w.snapshots.put(w.id, encodeSnapshot(snap)); err != nil {
+		crc, err = w.snapshots.put(w.id, epoch, encodeSnapshot(snap))
+		if err != nil {
+			w.checkpointFailed(epoch, err)
 			return
 		}
 	}
 	w.trCkpt.ObserveSpan(trace.MetricCheckpoint, trace.EvCheckpointEnd, ckptStart, uint64(epoch))
-	_ = w.ep.Send(w.masterNode, msgCheckpointDone, encodeEpoch(epoch))
+	w.ackCheckpoint(epoch, crc, true)
+}
+
+// checkpointFailed surfaces a snapshot/persist failure: trace event,
+// metrics counter, last-error on the worker (collected into
+// cluster.Result) and a negative ack to the master.
+func (w *Worker) checkpointFailed(epoch int64, err error) {
+	w.trCkpt.Event(trace.EvCheckpointFail, uint64(epoch))
+	w.counters.CheckpointFailed()
+	w.ckptMu.Lock()
+	w.ckptErr = fmt.Errorf("worker %d epoch %d: %w", w.id, epoch, err)
+	w.ckptMu.Unlock()
+	w.ackCheckpoint(epoch, 0, false)
+}
+
+// ackCheckpoint reports the epoch's outcome to the master. A killed worker
+// stays silent, like a crashed machine.
+func (w *Worker) ackCheckpoint(epoch int64, crc uint32, ok bool) {
+	if w.killed.Load() {
+		return
+	}
+	_ = w.ep.Send(w.masterNode, msgCheckpointDone, encodeCkptAck(epoch, crc, ok))
+}
+
+// lastCheckpointErr returns the most recent checkpoint failure, nil if all
+// checkpoints persisted.
+func (w *Worker) lastCheckpointErr() error {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	return w.ckptErr
 }
 
 // applySnapshot restores worker state from a checkpoint before the
-// pipeline starts.
-func (w *Worker) applySnapshot(s *workerSnapshot) {
+// pipeline starts. The task payload is decoded up front so a corrupt
+// snapshot mutates nothing: the caller falls back to an older epoch (or
+// scratch) instead of silently dropping tasks mid-restore.
+func (w *Worker) applySnapshot(s *workerSnapshot) error {
+	tasks, err := store.DecodeSnapshot(s.TaskBytes, w.algo)
+	if err != nil {
+		return fmt.Errorf("cluster: restore worker %d epoch %d: %w", w.id, s.Epoch, err)
+	}
 	w.seedCursor.Store(s.SeedCursor)
 	w.seedsDone.Store(s.SeedsDone)
 	w.results = append(w.results, s.Results...)
 	if w.agg != nil && s.AggBytes != nil {
 		w.aggPartial = w.agg.Decode(wire.NewReader(s.AggBytes))
 	}
-	tasks, err := store.DecodeSnapshot(s.TaskBytes, w.algo)
-	if err != nil {
-		return
-	}
 	for _, t := range tasks {
 		w.intake(t, false)
 	}
 	w.flushBatch(w.buffer.drain())
+	return nil
 }

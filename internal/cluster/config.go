@@ -63,6 +63,14 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// CheckpointDir stores checkpoint files (empty: in-memory snapshots).
 	CheckpointDir string
+	// CheckpointQuiesceTimeout bounds how long a worker waits for its
+	// pipeline to quiesce before skipping a checkpoint epoch (default 10s).
+	CheckpointQuiesceTimeout time.Duration
+	// Resume restores the whole job from the newest committed epoch in
+	// CheckpointDir instead of starting from scratch. The manifest's job
+	// fingerprint (graph, algorithm, worker count, partitioner) must match
+	// or Start refuses.
+	Resume bool
 	// FailTimeout marks a worker dead after this silence; 0 disables
 	// failure detection.
 	FailTimeout time.Duration
@@ -152,6 +160,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.ProgressInterval <= 0 {
 		c.ProgressInterval = 2 * time.Millisecond
+	}
+	if c.CheckpointQuiesceTimeout <= 0 {
+		c.CheckpointQuiesceTimeout = 10 * time.Second
 	}
 	if c.PullRetryBase <= 0 {
 		// First retry after ~30 report periods: late enough that a slow

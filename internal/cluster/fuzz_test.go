@@ -64,6 +64,44 @@ func FuzzDecodeMigrate(f *testing.F) {
 	})
 }
 
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add(encodeManifest(&manifest{Fingerprint: 7, Workers: 2, Epoch: 3,
+		EpochCRCs: []uint32{1, 2}, PrevEpoch: 1, PrevCRCs: []uint32{3, 4}}))
+	f.Add(encodeManifest(&manifest{Fingerprint: 1, Workers: 1, Epoch: 1,
+		EpochCRCs: []uint32{9}, PrevEpoch: noEpoch}))
+	f.Add([]byte(manifestMagic))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must uphold the invariants restore leans on.
+		if m.Workers <= 0 || len(m.EpochCRCs) != m.Workers {
+			t.Fatalf("invalid manifest decoded cleanly: %+v", m)
+		}
+		if m.PrevEpoch != noEpoch && (m.PrevEpoch >= m.Epoch || len(m.PrevCRCs) != m.Workers) {
+			t.Fatalf("inconsistent previous epoch decoded cleanly: %+v", m)
+		}
+	})
+}
+
+func FuzzUnframeSnapshot(f *testing.F) {
+	f.Add(frame(snapshotMagic, encodeSnapshot(&workerSnapshot{Epoch: 1, Results: []string{"x"}})))
+	f.Add(frame(snapshotMagic, nil))
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, crc, err := unframe(snapshotMagic, data)
+		if err != nil {
+			return
+		}
+		if got := checksum(payload); got != crc {
+			t.Fatalf("unframe accepted payload with checksum %08x, reported %08x", got, crc)
+		}
+	})
+}
+
 func FuzzDecodeSnapshot(f *testing.F) {
 	f.Add(encodeSnapshot(&workerSnapshot{Epoch: 3, SeedCursor: 7, Results: []string{"a", "b"}}))
 	f.Add(encodeSnapshot(&workerSnapshot{AggBytes: []byte{1}}))

@@ -38,6 +38,11 @@ type Result struct {
 	EdgeCut float64
 	// Recovered counts worker recoveries during the run.
 	Recovered int
+	// LastCheckpointErr is the most recent checkpoint persist/commit
+	// failure observed during the run (nil when every epoch landed). The
+	// job still completes — durability degraded, correctness did not — but
+	// callers relying on -resume must know their snapshots may be stale.
+	LastCheckpointErr error
 	// Phases holds the tracer's per-phase latency percentiles (task
 	// round, pull RTT, spill I/O, migration, checkpoint) when a tracer
 	// was attached via Config.Tracer; nil otherwise.
@@ -127,9 +132,6 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 	}
 
 	if cfg.Chaos != nil && cfg.Chaos.Profile().Active() {
-		if cfg.UseTCP && len(cfg.Chaos.Crashes()) > 0 {
-			return nil, fmt.Errorf("cluster: chaos crash windows require the local transport")
-		}
 		// Task migration payloads carry the tasks themselves: the protocol
 		// has no ack/retransmit for them, so a dropped or duplicated
 		// msgTasks would lose or double-count work with no recovery path
@@ -143,25 +145,48 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 		}
 	}
 
-	sink, err := newSnapshotSink(cfg.CheckpointDir)
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("cluster: resume requires a checkpoint directory")
+	}
+	fingerprint := jobFingerprint(g, algo.Name(), cfg)
+	sink, err := newSnapshotSink(cfg.CheckpointDir, cfg.Workers, fingerprint, cfg.Resume)
 	if err != nil {
 		return nil, err
 	}
 	j.sink = sink
 
+	resumeEpoch := noEpoch
+	if cfg.Resume {
+		man := sink.manifestView()
+		if man == nil {
+			return nil, fmt.Errorf("cluster: resume: no committed checkpoint in %s", cfg.CheckpointDir)
+		}
+		if man.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("cluster: resume: checkpoint fingerprint %016x does not match this job (%016x): "+
+				"the graph, algorithm, worker count or partitioner changed since the checkpoint was taken",
+				man.Fingerprint, fingerprint)
+		}
+		resumeEpoch = man.Epoch
+	}
+
 	var agg core.Aggregator
 	if ap, ok := algo.(core.AggregatorProvider); ok {
 		agg = ap.Aggregator()
 	}
-	j.master = newMaster(cfg, endpoints[cfg.Workers], agg, j.counters[cfg.Workers], j.failures)
+	j.master = newMaster(cfg, endpoints[cfg.Workers], agg, j.counters[cfg.Workers], j.failures, sink)
+	if resumeEpoch != noEpoch {
+		// New epochs must supersede every committed one or the manifest's
+		// newest-first ordering breaks.
+		j.master.epoch = resumeEpoch
+	}
 
-	j.workers = make([]*Worker, cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		w, err := newWorker(i, cfg, algo, g, assign, endpoints[i], j.counters[i], sink, nil)
-		if err != nil {
-			return nil, err
-		}
-		j.workers[i] = w
+	if cfg.Resume {
+		j.workers, err = j.restoreAllWorkers(endpoints)
+	} else {
+		j.workers, err = j.freshWorkers(endpoints)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	if cfg.SampleEvery > 0 {
@@ -187,6 +212,61 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 		}
 	}
 	return j, nil
+}
+
+// freshWorkers builds every worker from scratch.
+func (j *Job) freshWorkers(endpoints []transport.Endpoint) ([]*Worker, error) {
+	ws := make([]*Worker, j.cfg.Workers)
+	for i := 0; i < j.cfg.Workers; i++ {
+		w, err := newWorker(i, j.cfg, j.algo, j.g, j.assign, endpoints[i], j.counters[i], j.sink, nil)
+		if err != nil {
+			releaseWorkers(ws)
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// restoreAllWorkers rebuilds the whole cluster from one committed epoch: a
+// full-job resume must restore every worker from the SAME epoch (task
+// stealing migrates tasks between epochs, so mixing epochs across workers
+// could lose or duplicate tasks). The newest committed epoch whose every
+// snapshot verifies and decodes wins; any bad file fails the epoch over to
+// the previous committed one.
+func (j *Job) restoreAllWorkers(endpoints []transport.Endpoint) ([]*Worker, error) {
+	var lastErr error
+	for _, epoch := range j.sink.committedEpochs() {
+		ws := make([]*Worker, j.cfg.Workers)
+		ok := true
+		for i := 0; i < j.cfg.Workers; i++ {
+			snap, err := j.sink.load(i, epoch)
+			if err == nil {
+				ws[i], err = newWorker(i, j.cfg, j.algo, j.g, j.assign, endpoints[i], j.counters[i], j.sink, snap)
+			}
+			if err != nil {
+				j.cfg.Tracer.Handle(i, trace.CompCheckpoint).Event(trace.EvRestoreFail, uint64(epoch))
+				lastErr = err
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return ws, nil
+		}
+		releaseWorkers(ws)
+	}
+	return nil, fmt.Errorf("cluster: resume: no usable committed epoch: %w", lastErr)
+}
+
+// releaseWorkers tears down never-started workers from an abandoned build.
+func releaseWorkers(ws []*Worker) {
+	for _, w := range ws {
+		if w != nil {
+			w.stop()
+			w.spiller.Close()
+		}
+	}
 }
 
 // runCrash executes one scheduled chaos crash: kill the worker at cr.At,
@@ -230,8 +310,7 @@ func Run(g *graph.Graph, algo core.Algorithm, cfg Config) (*Result, error) {
 
 // KillWorker simulates a crash of worker i: its goroutines stop without
 // flushing anything, its mailbox is wiped (in-flight messages to it are
-// lost) and it stops serving pull requests until recovered. Only
-// supported on the local transport.
+// lost) and it stops serving pull requests until recovered.
 func (j *Job) KillWorker(i int) {
 	j.workerMu.Lock()
 	w := j.workers[i]
@@ -240,29 +319,51 @@ func (j *Job) KillWorker(i int) {
 	if j.netLocal != nil {
 		j.netLocal.Reset(i)
 	}
+	if j.netTCP != nil {
+		j.netTCP.Reset(i)
+	}
 }
 
 // RecoverWorker replaces a killed worker with a fresh one restored from
-// its last checkpoint (or from scratch if none was taken).
+// the newest committed epoch. A torn or corrupt snapshot falls back to the
+// previous committed epoch (traced as EvRestoreFail); with no usable
+// committed checkpoint the worker restarts from scratch, which is safe
+// because its un-checkpointed results died with it. On the TCP transport
+// the node's endpoint is reset first: peers' cached connections die and
+// their send-retry redials reach the replacement.
 func (j *Job) RecoverWorker(i int) error {
-	snap, err := j.sink.get(i)
-	if err != nil {
-		return err
-	}
 	var ep transport.Endpoint
 	if j.netLocal != nil {
 		ep = j.netLocal.Endpoint(i)
 	} else {
-		return fmt.Errorf("cluster: recovery requires the local transport")
+		j.netTCP.Reset(i)
+		ep = j.netTCP.Endpoint(i)
 	}
 	// The replacement worker must see the same faulty network the rest of
 	// the cluster does.
 	if j.cfg.Chaos != nil {
 		ep = j.cfg.Chaos.Wrap(ep)
 	}
-	w, err := newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, snap)
-	if err != nil {
-		return err
+	tr := j.cfg.Tracer.Handle(i, trace.CompCheckpoint)
+	var w *Worker
+	for _, epoch := range j.sink.committedEpochs() {
+		snap, err := j.sink.load(i, epoch)
+		if err == nil {
+			w, err = newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, snap)
+		}
+		if err != nil {
+			tr.Event(trace.EvRestoreFail, uint64(epoch))
+			w = nil
+			continue
+		}
+		break
+	}
+	if w == nil {
+		var err error
+		w, err = newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, nil)
+		if err != nil {
+			return err
+		}
 	}
 	j.workerMu.Lock()
 	j.workers[i] = w
@@ -321,6 +422,14 @@ func (j *Job) Wait() (*Result, error) {
 			EdgeCut:       j.assign.EdgeCut(j.g),
 			AggGlobal:     j.master.globalAgg(),
 			Recovered:     recovered,
+		}
+		for _, w := range workers {
+			if err := w.lastCheckpointErr(); err != nil {
+				res.LastCheckpointErr = err
+			}
+		}
+		if j.master.ckptErr != nil {
+			res.LastCheckpointErr = j.master.ckptErr
 		}
 		for _, w := range workers {
 			res.Records = append(res.Records, w.takeResults()...)

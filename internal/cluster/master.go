@@ -31,6 +31,9 @@ type master struct {
 	// checkpoint state
 	epoch        int64
 	ckptPending  int
+	ckptAcks     map[int]uint32 // worker → snapshot CRC acked for m.epoch
+	sink         *snapshotSink  // commits epochs to the MANIFEST; may be nil in tests
+	ckptErr      error          // last commit failure, surfaced on cluster.Result
 	lastCkpt     time.Time
 	lastAggBytes []byte
 
@@ -42,7 +45,7 @@ type master struct {
 }
 
 func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
-	counters *metrics.Counters, failures chan<- int) *master {
+	counters *metrics.Counters, failures chan<- int, sink *snapshotSink) *master {
 	m := &master{
 		cfg:      cfg,
 		ep:       ep,
@@ -51,6 +54,8 @@ func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
 		reports:  make([]*progressReport, cfg.Workers),
 		lastSeen: make([]time.Time, cfg.Workers),
 		partials: make([][]byte, cfg.Workers),
+		ckptAcks: make(map[int]uint32),
+		sink:     sink,
 		failed:   make(map[int]bool),
 		failures: failures,
 		doneCh:   make(chan struct{}),
@@ -115,8 +120,43 @@ func (m *master) handle(msg transport.Message) {
 	case msgStealReq:
 		m.scheduleSteal(msg.From)
 	case msgCheckpointDone:
-		if m.ckptPending > 0 {
-			m.ckptPending--
+		m.handleCkptAck(msg)
+	}
+}
+
+// handleCkptAck collects per-worker checkpoint acks and commits the epoch
+// to the MANIFEST once every worker acked. An epoch with any failed or
+// silent worker never commits: commit means "all K files are durable",
+// which is exactly what restore needs for a consistent cut.
+func (m *master) handleCkptAck(msg transport.Message) {
+	ack, err := decodeCkptAck(msg.Payload)
+	if err != nil || ack.Epoch != m.epoch || m.ckptPending == 0 {
+		return // stale ack from an abandoned or superseded epoch
+	}
+	if msg.From < 0 || msg.From >= m.cfg.Workers {
+		return
+	}
+	if _, dup := m.ckptAcks[msg.From]; dup {
+		return // chaos duplication: count each worker once
+	}
+	if !ack.OK {
+		// The worker could not snapshot or persist; the epoch can never
+		// complete, so abandon it now rather than wait out the timeout.
+		m.ckptPending = 0
+		return
+	}
+	m.ckptAcks[msg.From] = ack.CRC
+	m.ckptPending--
+	if m.ckptPending > 0 || len(m.ckptAcks) != m.cfg.Workers {
+		return
+	}
+	crcs := make([]uint32, m.cfg.Workers)
+	for w, crc := range m.ckptAcks {
+		crcs[w] = crc
+	}
+	if m.sink != nil {
+		if err := m.sink.commit(m.epoch, crcs); err != nil {
+			m.ckptErr = err
 		}
 	}
 }
@@ -181,8 +221,10 @@ func (m *master) periodic() {
 		if m.ckptPending == 0 && time.Since(m.lastCkpt) >= m.cfg.CheckpointEvery {
 			m.epoch++
 			// Workers already marked dead will never ack; do not wait on
-			// them or the epoch stalls until the abandon timeout.
+			// them or the epoch stalls until the abandon timeout. (Such an
+			// epoch is incomplete by construction and will not commit.)
 			m.ckptPending = m.cfg.Workers - len(m.failed)
+			m.ckptAcks = make(map[int]uint32)
 			m.lastCkpt = time.Now()
 			m.broadcast(msgCheckpointReq, encodeEpoch(m.epoch))
 		}

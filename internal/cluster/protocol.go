@@ -40,7 +40,11 @@ const (
 	// msgCheckpoint: master → worker. Take a checkpoint at the epoch in
 	// the payload.
 	msgCheckpointReq
-	// msgCheckpointDone: worker → master.
+	// msgCheckpointDone: worker → master. Payload: ckptAck — the epoch,
+	// the CRC32C of the persisted snapshot payload (what the master
+	// records in the MANIFEST at commit time) and an OK flag. A negative
+	// ack (snapshot or persist failure, quiesce timeout) makes the master
+	// abandon the epoch immediately instead of waiting out its timeout.
 	msgCheckpointDone
 	// msgStop: master → worker. Job finished; shut down the pipeline.
 	msgStop
@@ -228,4 +232,28 @@ func decodeEpoch(b []byte) (int64, error) {
 	r := wire.NewReader(b)
 	e := r.Varint()
 	return e, r.Err()
+}
+
+// ckptAck is the msgCheckpointDone payload.
+type ckptAck struct {
+	Epoch int64
+	CRC   uint32 // checksum of the persisted snapshot payload; 0 when !OK
+	OK    bool
+}
+
+func encodeCkptAck(epoch int64, crc uint32, ok bool) []byte {
+	w := wire.NewWriter(16)
+	w.Varint(epoch)
+	w.Uvarint(uint64(crc))
+	w.Bool(ok)
+	return w.Bytes()
+}
+
+func decodeCkptAck(b []byte) (ckptAck, error) {
+	r := wire.NewReader(b)
+	a := ckptAck{}
+	a.Epoch = r.Varint()
+	a.CRC = uint32(r.Uvarint())
+	a.OK = r.Bool()
+	return a, r.Err()
 }

@@ -2,7 +2,10 @@ package cluster_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -125,6 +128,157 @@ func TestRecoveryWithoutCheckpointRestartsFromScratch(t *testing.T) {
 	job.KillWorker(0)
 	time.Sleep(time.Millisecond)
 	if err := job.RecoverWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, res.Records, want)
+}
+
+// waitForManifest polls until the checkpoint directory holds a committed
+// MANIFEST (the master writes it only after every worker acked an epoch).
+func waitForManifest(t *testing.T, dir string, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no committed checkpoint within %v", deadline)
+}
+
+// TestResumeFullJobByteIdentical is the crash-restart soak: abandon a job
+// mid-run (the process-death stand-in), then relaunch with -resume from the
+// same checkpoint directory and require output byte-identical to a
+// fault-free run.
+func TestResumeFullJobByteIdentical(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 9, Edges: 2500, Seed: 79})
+	want := expectedMarks(g)
+
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.CheckpointEvery = 3 * time.Millisecond
+	cfg.CheckpointDir = dir
+	cfg.Partitioner = partition.Hash{}
+	// Stealing off: see TestRecoveryFromCheckpointExactlyOnce.
+	cfg.Stealing = false
+
+	job, err := cluster.Start(g, &slowMark{delay: 150 * time.Microsecond}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForManifest(t, dir, 30*time.Second)
+	job.Stop() // crash: the run's in-memory output is abandoned
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	res, err := cluster.Run(g, &slowMark{delay: 100 * time.Microsecond}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, res.Records, want)
+}
+
+func TestResumeRefusesMismatchedFingerprint(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 1200, Seed: 73})
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.CheckpointEvery = 2 * time.Millisecond
+	cfg.CheckpointDir = dir
+	cfg.Partitioner = partition.Hash{}
+
+	job, err := cluster.Start(g, &slowMark{delay: 150 * time.Microsecond}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForManifest(t, dir, 30*time.Second)
+	job.Stop()
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	cfg.Workers = cfg.Workers + 1 // changes the partition map → new fingerprint
+	if _, err := cluster.Start(g, &slowMark{}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched fingerprint accepted: %v", err)
+	}
+}
+
+func TestResumeWithoutCheckpointErrors(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 7, Edges: 400, Seed: 5})
+	cfg := smallConfig()
+	cfg.Partitioner = partition.Hash{}
+
+	cfg.Resume = true
+	if _, err := cluster.Start(g, &slowMark{}, cfg); err == nil {
+		t.Fatal("resume without a checkpoint directory accepted")
+	}
+	cfg.CheckpointDir = t.TempDir() // empty: no committed epoch to resume
+	if _, err := cluster.Start(g, &slowMark{}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "no committed checkpoint") {
+		t.Fatalf("resume from an empty directory accepted: %v", err)
+	}
+}
+
+// TestRecoverBeforeFirstCommittedEpoch kills and recovers a worker before
+// any epoch could commit: the replacement restarts from scratch and the
+// snapshot-held Results of other workers must not duplicate.
+func TestRecoverBeforeFirstCommittedEpoch(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 1200, Seed: 89})
+	want := expectedMarks(g)
+
+	cfg := smallConfig()
+	cfg.Workers = 2
+	cfg.CheckpointEvery = time.Hour // enabled, but no epoch ever completes
+	cfg.CheckpointDir = t.TempDir()
+	cfg.Partitioner = partition.Hash{}
+
+	job, err := cluster.Start(g, &slowMark{delay: 100 * time.Microsecond}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	job.KillWorker(0)
+	time.Sleep(time.Millisecond)
+	if err := job.RecoverWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, res.Records, want)
+}
+
+// TestRecoverWorkerOverTCP exercises kill + restore on the real socket
+// transport: the node's endpoint resets, peers' cached connections die, and
+// their send-retry redials must reach the replacement worker.
+func TestRecoverWorkerOverTCP(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Scale: 9, Edges: 2500, Seed: 97})
+	want := expectedMarks(g)
+
+	cfg := smallConfig()
+	cfg.UseTCP = true
+	cfg.CheckpointEvery = 3 * time.Millisecond
+	cfg.CheckpointDir = t.TempDir()
+	cfg.Partitioner = partition.Hash{}
+	cfg.Stealing = false
+
+	job, err := cluster.Start(g, &slowMark{delay: 100 * time.Microsecond}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	job.KillWorker(1)
+	time.Sleep(2 * time.Millisecond)
+	if err := job.RecoverWorker(1); err != nil {
 		t.Fatal(err)
 	}
 	res, err := job.Wait()

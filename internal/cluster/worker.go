@@ -115,8 +115,12 @@ type Worker struct {
 	// single request listener).
 	pullServe chan pullWork
 
-	paused   atomic.Bool // checkpoint quiesce
-	killed   atomic.Bool // failure simulation: drop all work silently
+	paused atomic.Bool // checkpoint quiesce
+	killed atomic.Bool // failure simulation: drop all work silently
+	// ckptErr is the most recent checkpoint failure (surfaced on
+	// cluster.Result so operators see degraded durability, not silence).
+	ckptMu   sync.Mutex
+	ckptErr  error
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -222,7 +226,14 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 	w.nextTaskID.Store(uint64(id) << 48)
 
 	if restore != nil {
-		w.applySnapshot(restore)
+		if err := w.applySnapshot(restore); err != nil {
+			// Nothing was mutated (the snapshot decodes before any intake);
+			// release the resources this half-built worker holds so the
+			// caller can retry with an older epoch or a fresh worker.
+			w.stop()
+			w.spiller.Close()
+			return nil, err
+		}
 	}
 	return w, nil
 }

@@ -37,6 +37,9 @@ type Counters struct {
 	cacheMisses atomic.Int64
 	// stolen counts tasks migrated by work stealing.
 	stolen atomic.Int64
+	// ckptFails counts checkpoint epochs a worker failed to snapshot or
+	// persist (each one degraded durability and abandoned the epoch).
+	ckptFails atomic.Int64
 }
 
 // AddBusy records d of computing-thread busy time.
@@ -88,6 +91,9 @@ func (c *Counters) CacheMiss() { c.cacheMisses.Add(1) }
 // TaskStolen records a migrated task.
 func (c *Counters) TaskStolen() { c.stolen.Add(1) }
 
+// CheckpointFailed records a failed checkpoint attempt.
+func (c *Counters) CheckpointFailed() { c.ckptFails.Add(1) }
+
 // Snapshot is a point-in-time copy of all counters.
 type Snapshot struct {
 	Busy        time.Duration
@@ -102,6 +108,7 @@ type Snapshot struct {
 	CacheHits   int64
 	CacheMisses int64
 	Stolen      int64
+	CkptFails   int64
 }
 
 // Snapshot returns the current counter values.
@@ -119,6 +126,7 @@ func (c *Counters) Snapshot() Snapshot {
 		CacheHits:   c.cacheHits.Load(),
 		CacheMisses: c.cacheMisses.Load(),
 		Stolen:      c.stolen.Load(),
+		CkptFails:   c.ckptFails.Load(),
 	}
 }
 
@@ -138,6 +146,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		CacheHits:   s.CacheHits + o.CacheHits,
 		CacheMisses: s.CacheMisses + o.CacheMisses,
 		Stolen:      s.Stolen + o.Stolen,
+		CkptFails:   s.CkptFails + o.CkptFails,
 	}
 }
 

@@ -156,6 +156,8 @@ var promCounters = []promCounter{
 		func(s metrics.Snapshot) float64 { return float64(s.CacheMisses) }},
 	{"gminer_tasks_stolen_total", "Tasks migrated by work stealing.", "counter",
 		func(s metrics.Snapshot) float64 { return float64(s.Stolen) }},
+	{"gminer_checkpoint_failures_total", "Checkpoint epochs a worker failed to snapshot or persist.", "counter",
+		func(s metrics.Snapshot) float64 { return float64(s.CkptFails) }},
 	{"gminer_live_bytes", "Estimated live memory.", "gauge",
 		func(s metrics.Snapshot) float64 { return float64(s.LiveBytes) }},
 	{"gminer_peak_bytes", "Peak estimated live memory.", "gauge",

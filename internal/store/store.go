@@ -433,6 +433,11 @@ func DecodeSnapshot(data []byte, codec core.ContextCodec) ([]*core.Task, error) 
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	if r.Remaining() != 0 {
+		// A checkpoint payload is exactly its task list; trailing bytes mean
+		// the count lied (truncation or corruption the CRC layer missed).
+		return nil, fmt.Errorf("store: %d trailing snapshot bytes", r.Remaining())
+	}
 	return tasks, nil
 }
 

@@ -77,6 +77,11 @@ const (
 	// Pull retry/backoff: a stale pull was re-issued. Arg = vertex count.
 	EvPullRetry
 
+	// Durable checkpointing (§7 hardening). Arg = epoch.
+	EvCheckpointFail // snapshot or persist failed; the epoch was abandoned
+	EvCheckpointSkip // the pipeline would not quiesce before the deadline
+	EvRestoreFail    // a committed snapshot failed verification on restore
+
 	numEventTypes
 )
 
@@ -113,6 +118,9 @@ var eventNames = [numEventTypes]string{
 	EvNetSend:         "net_send",
 	EvFaultInjected:   "fault_injected",
 	EvPullRetry:       "pull_retry",
+	EvCheckpointFail:  "checkpoint_fail",
+	EvCheckpointSkip:  "checkpoint_skip",
+	EvRestoreFail:     "restore_fail",
 }
 
 // Component is the pipeline component an event belongs to; it becomes the

@@ -57,7 +57,11 @@ func NewTCP(nodes int, counters []*metrics.Counters) (*TCPNetwork, error) {
 		}
 		n.listeners[i] = l
 		n.addrs[i] = l.Addr().String()
-		ep := &tcpEndpoint{net: n, node: i, box: newMailbox(), conns: make(map[int]net.Conn)}
+		ep := &tcpEndpoint{
+			net: n, node: i, box: newMailbox(),
+			conns:    make(map[int]net.Conn),
+			accepted: make(map[net.Conn]struct{}),
+		}
 		n.endpoints[i] = ep
 		go ep.acceptLoop(l)
 	}
@@ -79,6 +83,16 @@ func (n *TCPNetwork) SetTimeouts(dial, send time.Duration) {
 // Endpoint returns node i's endpoint.
 func (n *TCPNetwork) Endpoint(node int) Endpoint { return n.endpoints[node] }
 
+// Reset severs a node's connections and replaces its mailbox, simulating
+// a process restart on that node (worker recovery): queued and in-flight
+// messages to it are lost, receivers blocked on the old mailbox unblock
+// with ok=false, and peers' cached connections to it die — their next
+// send's one-shot redial reaches the still-listening socket, so the
+// replacement worker is reachable without any peer-side bookkeeping.
+func (n *TCPNetwork) Reset(node int) {
+	n.endpoints[node].reset()
+}
+
 // Close shuts down all listeners, connections and mailboxes.
 func (n *TCPNetwork) Close() {
 	n.mu.Lock()
@@ -99,11 +113,19 @@ func (n *TCPNetwork) Close() {
 type tcpEndpoint struct {
 	net  *TCPNetwork
 	node int
-	box  *mailbox
 
-	mu     sync.Mutex
-	conns  map[int]net.Conn // outbound, by peer
-	closed bool
+	mu       sync.Mutex
+	box      *mailbox         // swapped by reset; access via mailbox()
+	conns    map[int]net.Conn // outbound, by peer
+	accepted map[net.Conn]struct{}
+	closed   bool
+}
+
+// mailbox returns the current inbox (reset swaps it for a fresh one).
+func (e *tcpEndpoint) mailbox() *mailbox {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.box
 }
 
 func (e *tcpEndpoint) acceptLoop(l net.Listener) {
@@ -112,12 +134,25 @@ func (e *tcpEndpoint) acceptLoop(l net.Listener) {
 		if err != nil {
 			return
 		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.accepted[conn] = struct{}{}
+		e.mu.Unlock()
 		go e.readLoop(conn)
 	}
 }
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close()
+		e.mu.Lock()
+		delete(e.accepted, conn)
+		e.mu.Unlock()
+	}()
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -133,7 +168,10 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		}
 		typ := frame[0]
 		from := int(int32(binary.BigEndian.Uint32(frame[1:5])))
-		e.box.push(Message{From: from, To: e.node, Type: typ, Payload: frame[5:]}, time.Time{})
+		// A message that raced a reset lands in the already-closed old
+		// mailbox and is dropped — exactly a crashed process's in-flight
+		// traffic.
+		e.mailbox().push(Message{From: from, To: e.node, Type: typ, Payload: frame[5:]}, time.Time{})
 	}
 }
 
@@ -196,10 +234,10 @@ func (e *tcpEndpoint) connLocked(to int) (net.Conn, error) {
 	return c, nil
 }
 
-func (e *tcpEndpoint) Recv() (Message, bool) { return e.box.pop(time.Time{}) }
+func (e *tcpEndpoint) Recv() (Message, bool) { return e.mailbox().pop(time.Time{}) }
 
 func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, bool) {
-	return e.box.pop(time.Now().Add(d))
+	return e.mailbox().pop(time.Now().Add(d))
 }
 
 func (e *tcpEndpoint) Node() int { return e.node }
@@ -212,10 +250,34 @@ func (e *tcpEndpoint) Close() error {
 func (e *tcpEndpoint) close() {
 	e.mu.Lock()
 	e.closed = true
+	box := e.box
+	e.severLocked()
+	e.mu.Unlock()
+	box.close()
+}
+
+// reset simulates a process restart: sever every connection and start an
+// empty mailbox. The listener keeps running, so peers reconnect via their
+// send-retry redial.
+func (e *tcpEndpoint) reset() {
+	e.mu.Lock()
+	old := e.box
+	e.box = newMailbox()
+	e.severLocked()
+	e.mu.Unlock()
+	old.close()
+}
+
+// severLocked closes all outbound and accepted connections. Caller holds
+// e.mu; the readLoops' deferred deregistration re-acquires it after we
+// return.
+func (e *tcpEndpoint) severLocked() {
 	for _, c := range e.conns {
 		_ = c.Close()
 	}
-	e.conns = map[int]net.Conn{}
-	e.mu.Unlock()
-	e.box.close()
+	e.conns = make(map[int]net.Conn)
+	for c := range e.accepted {
+		_ = c.Close()
+	}
+	e.accepted = make(map[net.Conn]struct{})
 }

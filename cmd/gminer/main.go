@@ -9,28 +9,45 @@
 //
 // The input is either a text adjacency-list file (-graph) or a generated
 // preset (-preset, optionally scaled with -scale).
+//
+// Against a running gminerd daemon, gminer is also the thin job client:
+//
+//	gminer submit -addr http://127.0.0.1:7077 -app tc -wait
+//	gminer status -addr http://127.0.0.1:7077 job-1
+//	gminer result -addr http://127.0.0.1:7077 -out tc.txt job-1
+//	gminer cancel -addr http://127.0.0.1:7077 job-1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"gminer"
 	"gminer/internal/algo"
 	"gminer/internal/chaos"
-	"gminer/internal/core"
 	"gminer/internal/gen"
 	"gminer/internal/graph"
+	"gminer/internal/jobspec"
 	"gminer/internal/monitor"
 	"gminer/internal/partition"
 	"gminer/internal/trace"
 )
 
 func main() {
+	// Subcommand form: thin client against a gminerd daemon. Anything
+	// else falls through to the single-shot flag interface, which stays
+	// byte-for-byte compatible.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "submit", "status", "result", "cancel":
+			runClient(os.Args[1], os.Args[2:])
+			return
+		}
+	}
+
 	var (
 		graphPath = flag.String("graph", "", "input graph file")
 		format    = flag.String("format", "adj", "graph file format: adj (adjacency list) or edges (SNAP edge list)")
@@ -76,7 +93,16 @@ func main() {
 		fatal(err)
 	}
 
-	a, err := buildAlgorithm(g, *app, *labels, *pattern, *minSim, *minSize, *split)
+	spec := jobspec.Spec{
+		App:     *app,
+		Labels:  int32(*labels),
+		Pattern: *pattern,
+		MinSim:  *minSim,
+		MinSize: *minSize,
+		Split:   *split,
+	}.Normalize()
+	jobspec.Prepare(g, spec)
+	a, err := jobspec.Build(g, spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -247,78 +273,6 @@ func datasetName(path, preset string) string {
 		return path
 	}
 	return preset
-}
-
-func buildAlgorithm(g *graph.Graph, app string, labels int, patternSpec string,
-	minSim float64, minSize, split int) (core.Algorithm, error) {
-	switch app {
-	case "tc":
-		return algo.NewTriangleCount(), nil
-	case "mcf":
-		mc := algo.NewMaxClique()
-		mc.SplitThreshold = split
-		return mc, nil
-	case "gm":
-		if !g.Labeled() {
-			gen.AssignLabels(g, int32(labels), 1)
-		}
-		p := algo.FigurePattern()
-		if patternSpec != "" {
-			var err error
-			p, err = parsePattern(patternSpec)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return algo.NewGraphMatch(p), nil
-	case "gl3":
-		return algo.NewGraphletCensus(), nil
-	case "qc":
-		return algo.NewQuasiClique(minSim, minSize), nil
-	case "fsm":
-		if !g.Labeled() {
-			gen.AssignLabels(g, int32(labels), 1)
-		}
-		return algo.NewFreqSubgraph(int64(minSize) * 25), nil
-	case "cd":
-		if !g.Attributed() {
-			gen.AssignAttrs(g, 5, 10, 2)
-		}
-		return algo.NewCommunityDetect(minSim, minSize), nil
-	case "gc":
-		if !g.Attributed() {
-			gen.AssignAttrs(g, 5, 10, 2)
-		}
-		exemplar := g.VertexAt(0).Attrs
-		return algo.NewGraphCluster([][]int32{exemplar}, 0.8, 0.3, minSize), nil
-	default:
-		return nil, fmt.Errorf("unknown app %q (want tc, mcf, gm, cd, gc, gl3, qc, fsm)", app)
-	}
-}
-
-// parsePattern parses "l0,l1,...;p0,p1,...".
-func parsePattern(spec string) (*algo.Pattern, error) {
-	parts := strings.SplitN(spec, ";", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("pattern must be 'labels;parents'")
-	}
-	var labels []int32
-	for _, s := range strings.Split(parts[0], ",") {
-		x, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("pattern label: %w", err)
-		}
-		labels = append(labels, int32(x))
-	}
-	var parents []int
-	for _, s := range strings.Split(parts[1], ",") {
-		x, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return nil, fmt.Errorf("pattern parent: %w", err)
-		}
-		parents = append(parents, x)
-	}
-	return algo.NewPattern(labels, parents)
 }
 
 func fatal(err error) {

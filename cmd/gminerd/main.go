@@ -1,0 +1,154 @@
+// Command gminerd is the long-lived G-Miner job server: it loads and
+// BDG-partitions the graph once, keeps the cluster warm (worker vertex
+// tables, transport, partition assignment), and serves concurrent mining
+// jobs over HTTP/JSON.
+//
+//	gminerd -preset orkut-s -addr 127.0.0.1:7077 -max-jobs 3
+//	curl -s -X POST localhost:7077/jobs -d '{"app":"tc"}'
+//	curl -s localhost:7077/jobs/job-1
+//	curl -s localhost:7077/jobs/job-1/result?format=text
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: new submissions are
+// refused, running jobs drain (checkpointing as configured), and the
+// listen port is released so a restarted daemon can bind it immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gminer/internal/cluster"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/jobspec"
+	"gminer/internal/partition"
+	"gminer/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file")
+		format    = flag.String("format", "adj", "graph file format: adj (adjacency list) or edges (SNAP edge list)")
+		preset    = flag.String("preset", "", "generated dataset preset (skitter-s, orkut-s, btc-s, friendster-s, tencent-s, dblp-s)")
+		scale     = flag.Float64("scale", 1.0, "preset scale factor")
+
+		workers  = flag.Int("workers", 4, "number of workers")
+		threads  = flag.Int("threads", 4, "computing threads per worker")
+		part     = flag.String("partitioner", "bdg", "partitioner: bdg, hash, skewed")
+		lsh      = flag.Bool("lsh", true, "enable the LSH task priority queue")
+		steal    = flag.Bool("steal", true, "enable task stealing")
+		cacheCap = flag.Int("cache", 8192, "RCV cache capacity (vertices) per worker per job")
+		storeCap = flag.Int("store-mem", 8192, "in-memory task store capacity (tasks) per worker per job")
+		spillDir = flag.String("spill", "", "task-store spill directory; each job gets its own subdirectory")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory; each job gets its own subdirectory")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "default checkpoint interval for served jobs (0=off)")
+
+		labels = flag.Int("labels", 7, "label alphabet assigned at startup when the graph is unlabeled (gm/fsm jobs)")
+
+		addr         = flag.String("addr", "127.0.0.1:7077", "HTTP listen address")
+		maxJobs      = flag.Int("max-jobs", 2, "maximum concurrently mining jobs")
+		queueDepth   = flag.Int("queue-depth", 8, "admission queue depth (beyond it, submissions get 429)")
+		jobMem       = flag.Int64("job-mem", 0, "default per-job memory budget in bytes (0=unlimited)")
+		retain       = flag.Int("retain", 64, "finished jobs kept queryable before eviction")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown wait for running jobs before cancelling them")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *format, *preset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Prepare every annotation family ONCE, before the first job: the
+	// resident graph is shared by concurrent jobs and must never be
+	// mutated per job. The assignment parameters and seeds match the
+	// single-shot CLI's defaults, which is what makes served results
+	// byte-identical to `gminer -app ...` on the same input.
+	jobspec.Prepare(g, jobspec.Spec{App: "gm", Labels: int32(*labels)}.Normalize())
+	jobspec.Prepare(g, jobspec.Spec{App: "cd"}.Normalize())
+
+	ccfg := cluster.Config{
+		Workers:          *workers,
+		Threads:          *threads,
+		CacheCapacity:    *cacheCap,
+		StoreMemCapacity: *storeCap,
+		UseLSH:           *lsh,
+		Stealing:         *steal,
+		SpillDir:         *spillDir,
+		CheckpointDir:    *ckptDir,
+		CheckpointEvery:  *ckptEvery,
+	}
+	switch *part {
+	case "bdg":
+		ccfg.Partitioner = partition.BDG{}
+	case "hash":
+		ccfg.Partitioner = partition.Hash{}
+	case "skewed":
+		ccfg.Partitioner = partition.Skewed{Bias: 0.6}
+	default:
+		fatal(fmt.Errorf("unknown partitioner %q", *part))
+	}
+
+	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
+	sess, err := cluster.NewSession(g, ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("warm cluster: %d workers x %d threads, %s partitioning in %.3fs (edge cut %.1f%%)\n",
+		*workers, *threads, *part, sess.PartitionTime().Seconds(), 100*sess.EdgeCut())
+
+	srv := server.New(sess, server.Config{
+		MaxConcurrentJobs:     *maxJobs,
+		MaxQueueDepth:         *queueDepth,
+		DefaultMemBudgetBytes: *jobMem,
+		MaxRetainedJobs:       *retain,
+		DrainTimeout:          *drainTimeout,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving: http://%s (POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, /healthz, /metrics)\n", bound)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("received %s: draining (up to %s) and shutting down\n", sig, *drainTimeout)
+	srv.Shutdown()
+	fmt.Println("shutdown complete, port released")
+}
+
+func loadGraph(path, format, preset string, scale float64) (*graph.Graph, error) {
+	switch {
+	case path != "":
+		switch format {
+		case "adj":
+			return graph.LoadFile(path)
+		case "edges":
+			return graph.LoadEdgeListFile(path)
+		default:
+			return nil, fmt.Errorf("unknown format %q (want adj or edges)", format)
+		}
+	case preset != "":
+		return gen.Build(gen.Preset(preset), scale)
+	default:
+		return nil, fmt.Errorf("need -graph or -preset")
+	}
+}
+
+func datasetName(path, preset string) string {
+	if path != "" {
+		return path
+	}
+	return preset
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gminerd:", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@ import (
 
 	"gminer/internal/cache"
 	"gminer/internal/chaos"
+	"gminer/internal/memctl"
 	"gminer/internal/partition"
 	"gminer/internal/trace"
 )
@@ -16,6 +17,19 @@ type Config struct {
 	// Threads is the number of computing threads per worker (the task
 	// executor's thread pool, §4.3).
 	Threads int
+
+	// JobID namespaces everything a job owns when many jobs share a
+	// process: spill and checkpoint directories, metrics labels and log
+	// lines. Sessions assign one automatically; empty means single-shot
+	// mode, whose on-disk layout is unchanged.
+	JobID string
+
+	// MemBudget, if non-nil, bounds the job-owned memory across all
+	// workers (task store + RCV cache; the resident graph is not charged —
+	// in a serving deployment it is shared by every job). Exceeding the
+	// budget cancels the job with an error wrapping memctl.ErrOOM instead
+	// of letting one greedy job take down co-resident ones.
+	MemBudget *memctl.Budget
 
 	// CacheCapacity is the RCV cache size in vertices per worker.
 	CacheCapacity int

@@ -30,7 +30,7 @@ func newBenchWorker(tb testing.TB) *Worker {
 	}
 	net := transport.NewLocal(transport.LocalConfig{Nodes: 5})
 	tb.Cleanup(func() { net.Close() })
-	w, err := newWorker(0, cfg, algo.NewTriangleCount(), g, assign, net.Endpoint(0),
+	w, err := newWorker(0, cfg, algo.NewTriangleCount(), g, assign, nil, net.Endpoint(0),
 		&metrics.Counters{}, nil, nil)
 	if err != nil {
 		tb.Fatal(err)

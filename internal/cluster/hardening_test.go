@@ -157,7 +157,7 @@ func TestRestoreVsMigrateRace(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w, err := newWorker(0, cfg, algo, g, assign, net.Endpoint(0), &metrics.Counters{}, nil, snap)
+	w, err := newWorker(0, cfg, algo, g, assign, nil, net.Endpoint(0), &metrics.Counters{}, nil, snap)
 	if err != nil {
 		t.Fatal(err)
 	}

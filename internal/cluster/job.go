@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,11 @@ import (
 	"gminer/internal/trace"
 	"gminer/internal/transport"
 )
+
+// ErrCancelled is returned by Wait when the job was cancelled (Cancel, a
+// serving-layer admission decision, or a memory-budget abort — the latter
+// also wraps memctl.ErrOOM).
+var ErrCancelled = errors.New("cluster: job cancelled")
 
 // Result summarizes a finished job.
 type Result struct {
@@ -60,9 +66,13 @@ type Job struct {
 	g      *graph.Graph
 	algo   core.Algorithm
 	assign *partition.Assignment
+	locals []*localTable // prebuilt partition views (session jobs); nil entries are built on demand
 
 	netLocal *transport.LocalNetwork
 	netTCP   *transport.TCPNetwork
+	// release tears down transport state the job borrowed rather than owns
+	// (a Session's mux channel); called during Wait after the workers stop.
+	release func()
 
 	workers  []*Worker
 	workerMu sync.Mutex
@@ -78,46 +88,82 @@ type Job struct {
 	recovered     int
 	autoRecover   bool
 
+	cancelOnce sync.Once
+	cancelMu   sync.Mutex
+	cancelErr  error
+
 	waitOnce sync.Once
 	result   *Result
 	err      error
 }
 
+// launchEnv carries resources a Session already holds warm, so a job can
+// launch without re-partitioning the graph, rebuilding per-worker vertex
+// tables, or creating its own network. nil means single-shot mode: the job
+// builds (and owns) everything itself.
+type launchEnv struct {
+	assign        *partition.Assignment
+	partitionTime time.Duration
+	locals        []*localTable
+	endpoints     []transport.Endpoint
+	counters      []*metrics.Counters
+	release       func()
+}
+
 // Start partitions the graph and launches the cluster. The graph must be
 // frozen.
 func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
+	return startWithEnv(g, algo, cfg, nil)
+}
+
+func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEnv) (*Job, error) {
 	cfg = cfg.Defaults()
 	if !g.Frozen() {
 		return nil, fmt.Errorf("cluster: graph must be frozen")
 	}
 	j := &Job{cfg: cfg, g: g, algo: algo, failures: make(chan int, cfg.Workers)}
 
-	pStart := time.Now()
-	assign, err := cfg.Partitioner.Partition(g, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: partition: %w", err)
+	if env != nil && env.assign != nil {
+		j.assign = env.assign
+		j.partitionTime = env.partitionTime
+		j.locals = env.locals
+	} else {
+		pStart := time.Now()
+		assign, err := cfg.Partitioner.Partition(g, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partition: %w", err)
+		}
+		j.partitionTime = time.Since(pStart)
+		j.assign = assign
 	}
-	j.partitionTime = time.Since(pStart)
-	j.assign = assign
 
 	nodes := cfg.Workers + 1 // + master
-	j.counters = make([]*metrics.Counters, nodes)
-	for i := range j.counters {
-		j.counters[i] = &metrics.Counters{}
+	if env != nil && env.counters != nil {
+		j.counters = env.counters
+	} else {
+		j.counters = make([]*metrics.Counters, nodes)
+		for i := range j.counters {
+			j.counters[i] = &metrics.Counters{}
+		}
 	}
 
-	endpoints := make([]transport.Endpoint, nodes)
-	if cfg.UseTCP {
+	var endpoints []transport.Endpoint
+	switch {
+	case env != nil && env.endpoints != nil:
+		endpoints = env.endpoints
+		j.release = env.release
+	case cfg.UseTCP:
 		tn, err := transport.NewTCP(nodes, j.counters)
 		if err != nil {
 			return nil, err
 		}
 		tn.SetTracer(cfg.Tracer)
 		j.netTCP = tn
+		endpoints = make([]transport.Endpoint, nodes)
 		for i := 0; i < nodes; i++ {
 			endpoints[i] = tn.Endpoint(i)
 		}
-	} else {
+	default:
 		ln := transport.NewLocal(transport.LocalConfig{
 			Nodes:        nodes,
 			Latency:      cfg.Latency,
@@ -126,6 +172,7 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 			Tracer:       cfg.Tracer,
 		})
 		j.netLocal = ln
+		endpoints = make([]transport.Endpoint, nodes)
 		for i := 0; i < nodes; i++ {
 			endpoints[i] = ln.Endpoint(i)
 		}
@@ -214,15 +261,31 @@ func Start(g *graph.Graph, algo core.Algorithm, cfg Config) (*Job, error) {
 	return j, nil
 }
 
+// localFor returns worker i's prebuilt partition view, nil if the job has
+// none (single-shot mode builds the table inside newWorker).
+func (j *Job) localFor(i int) *localTable {
+	if j.locals != nil && i < len(j.locals) {
+		return j.locals[i]
+	}
+	return nil
+}
+
+// budgetAbort cancels the job when a worker's memory charge exceeded the
+// job's budget; co-resident jobs in the same session are untouched.
+func (j *Job) budgetAbort(err error) {
+	j.cancelWith(fmt.Errorf("%w: %w", ErrCancelled, err))
+}
+
 // freshWorkers builds every worker from scratch.
 func (j *Job) freshWorkers(endpoints []transport.Endpoint) ([]*Worker, error) {
 	ws := make([]*Worker, j.cfg.Workers)
 	for i := 0; i < j.cfg.Workers; i++ {
-		w, err := newWorker(i, j.cfg, j.algo, j.g, j.assign, endpoints[i], j.counters[i], j.sink, nil)
+		w, err := newWorker(i, j.cfg, j.algo, j.g, j.assign, j.localFor(i), endpoints[i], j.counters[i], j.sink, nil)
 		if err != nil {
 			releaseWorkers(ws)
 			return nil, err
 		}
+		w.oomFn = j.budgetAbort
 		ws[i] = w
 	}
 	return ws, nil
@@ -242,7 +305,7 @@ func (j *Job) restoreAllWorkers(endpoints []transport.Endpoint) ([]*Worker, erro
 		for i := 0; i < j.cfg.Workers; i++ {
 			snap, err := j.sink.load(i, epoch)
 			if err == nil {
-				ws[i], err = newWorker(i, j.cfg, j.algo, j.g, j.assign, endpoints[i], j.counters[i], j.sink, snap)
+				ws[i], err = newWorker(i, j.cfg, j.algo, j.g, j.assign, j.localFor(i), endpoints[i], j.counters[i], j.sink, snap)
 			}
 			if err != nil {
 				j.cfg.Tracer.Handle(i, trace.CompCheckpoint).Event(trace.EvRestoreFail, uint64(epoch))
@@ -250,6 +313,7 @@ func (j *Job) restoreAllWorkers(endpoints []transport.Endpoint) ([]*Worker, erro
 				ok = false
 				break
 			}
+			ws[i].oomFn = j.budgetAbort
 		}
 		if ok {
 			return ws, nil
@@ -349,7 +413,7 @@ func (j *Job) RecoverWorker(i int) error {
 	for _, epoch := range j.sink.committedEpochs() {
 		snap, err := j.sink.load(i, epoch)
 		if err == nil {
-			w, err = newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, snap)
+			w, err = newWorker(i, j.cfg, j.algo, j.g, j.assign, j.localFor(i), ep, j.counters[i], j.sink, snap)
 		}
 		if err != nil {
 			tr.Event(trace.EvRestoreFail, uint64(epoch))
@@ -360,11 +424,12 @@ func (j *Job) RecoverWorker(i int) error {
 	}
 	if w == nil {
 		var err error
-		w, err = newWorker(i, j.cfg, j.algo, j.g, j.assign, ep, j.counters[i], j.sink, nil)
+		w, err = newWorker(i, j.cfg, j.algo, j.g, j.assign, j.localFor(i), ep, j.counters[i], j.sink, nil)
 		if err != nil {
 			return err
 		}
 	}
+	w.oomFn = j.budgetAbort
 	j.workerMu.Lock()
 	j.workers[i] = w
 	j.recovered++
@@ -411,6 +476,11 @@ func (j *Job) Wait() (*Result, error) {
 		if j.netTCP != nil {
 			j.netTCP.Close()
 		}
+		if j.release != nil {
+			// Session job: close the borrowed mux channel so blocked comm
+			// loops unblock; the shared network stays up for other jobs.
+			j.release()
+		}
 		for _, w := range workers {
 			w.wg.Wait()
 			w.spiller.Close()
@@ -447,6 +517,9 @@ func (j *Job) Wait() (*Result, error) {
 		}
 		res.Phases = j.cfg.Tracer.Summary()
 		j.result = res
+		j.cancelMu.Lock()
+		j.err = j.cancelErr
+		j.cancelMu.Unlock()
 	})
 	return j.result, j.err
 }
@@ -455,6 +528,34 @@ func (j *Job) Wait() (*Result, error) {
 func (j *Job) Stop() {
 	j.master.stop()
 }
+
+// Cancel cooperatively cancels a running job: the master broadcasts stop,
+// workers drain their queues without running further task rounds, and Wait
+// returns ErrCancelled alongside whatever partial state was merged. A job
+// that already terminated is unaffected (Wait keeps its nil error).
+func (j *Job) Cancel() { j.cancelWith(ErrCancelled) }
+
+func (j *Job) cancelWith(err error) {
+	j.cancelOnce.Do(func() {
+		if !j.Done() {
+			j.cancelMu.Lock()
+			j.cancelErr = err
+			j.cancelMu.Unlock()
+		}
+		j.master.stop()
+	})
+}
+
+// Err returns the job's terminal error without blocking (nil while running
+// or after a clean finish; ErrCancelled after cancellation).
+func (j *Job) Err() error {
+	j.cancelMu.Lock()
+	defer j.cancelMu.Unlock()
+	return j.cancelErr
+}
+
+// ID returns the job-scoped identifier (empty in single-shot mode).
+func (j *Job) ID() string { return j.cfg.JobID }
 
 // WorkerSnapshots returns the current per-worker counters (live view for
 // monitoring; implements monitor.Source).

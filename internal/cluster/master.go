@@ -80,6 +80,10 @@ func (m *master) run() {
 	for {
 		select {
 		case <-m.stopCh:
+			// External stop (cancellation, timeout): tell the workers too,
+			// so their pipelines drain immediately instead of spinning
+			// until the caller's Wait tears them down.
+			m.broadcast(msgStop, nil)
 			return
 		default:
 		}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/memctl"
+	"gminer/internal/metrics"
+	"gminer/internal/partition"
+	"gminer/internal/trace"
+	"gminer/internal/transport"
+)
+
+// Session is a warm cluster serving many mining jobs over one resident
+// graph. The costs a one-shot run pays per query — loading the graph,
+// BDG-partitioning it, building every worker's vertex table — are paid
+// once at session start; each Launch then reuses the partition assignment,
+// the shared read-only vertex tables and one multiplexed transport, so a
+// job's startup cost is only its own pipeline state (task store, RCV
+// cache, queues). The paper's task model makes jobs independent sets of
+// tasks (§4.1–4.2), so concurrent jobs never share mutable state: each
+// gets its own mux channel (job-scoped wire envelope), store, cache,
+// counters, checkpoints and tracer.
+type Session struct {
+	g      *graph.Graph
+	cfg    Config
+	assign *partition.Assignment
+	locals []*localTable
+
+	net *transport.LocalNetwork
+	mux *transport.Mux
+
+	partitionTime time.Duration
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextCh uint64
+	closed bool
+}
+
+// NewSession partitions the frozen graph once and brings the shared
+// transport up. The config is the template every job inherits (workers,
+// threads, cache sizes, stealing, ...); per-job knobs are set at Launch.
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	cfg = cfg.Defaults()
+	if !g.Frozen() {
+		return nil, fmt.Errorf("cluster: session graph must be frozen")
+	}
+	if cfg.UseTCP {
+		return nil, fmt.Errorf("cluster: sessions run over the in-process transport (TCP sessions are not supported yet)")
+	}
+	if cfg.Chaos != nil {
+		return nil, fmt.Errorf("cluster: sessions do not support chaos injection (crash schedules target a per-job network)")
+	}
+	if cfg.Resume {
+		return nil, fmt.Errorf("cluster: sessions cannot resume (resume a job, not the session)")
+	}
+
+	s := &Session{g: g, cfg: cfg, jobs: make(map[string]*Job)}
+
+	pStart := time.Now()
+	assign, err := cfg.Partitioner.Partition(g, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: session partition: %w", err)
+	}
+	s.partitionTime = time.Since(pStart)
+	s.assign = assign
+
+	s.locals = make([]*localTable, cfg.Workers)
+	for i := range s.locals {
+		s.locals[i] = buildLocalTable(g, assign, i)
+	}
+
+	nodes := cfg.Workers + 1
+	// Per-job byte accounting happens at the mux endpoints, so the shared
+	// network carries no counters or tracer of its own.
+	s.net = transport.NewLocal(transport.LocalConfig{
+		Nodes:        nodes,
+		Latency:      cfg.Latency,
+		BandwidthBps: cfg.BandwidthBps,
+	})
+	under := make([]transport.Endpoint, nodes)
+	for i := range under {
+		under[i] = s.net.Endpoint(i)
+	}
+	s.mux = transport.NewMux(under)
+	return s, nil
+}
+
+// JobOptions are the per-job knobs of Session.Launch.
+type JobOptions struct {
+	// ID names the job; it namespaces spill/checkpoint directories and
+	// metrics labels. Empty picks "job-<n>". IDs of live jobs must be
+	// unique; a finished job's ID may be reused.
+	ID string
+	// Tracer, if non-nil, records this job's pipeline events and latency
+	// histograms (create with trace.New(Workers+1, ...)).
+	Tracer *trace.Tracer
+	// MemBudgetBytes bounds the job-owned memory (task store + RCV cache
+	// summed over workers). 0 means unlimited. Exceeding it cancels the
+	// job with an error wrapping memctl.ErrOOM.
+	MemBudgetBytes int64
+	// CheckpointEvery overrides the template's checkpoint interval for
+	// this job; 0 inherits it.
+	CheckpointEvery time.Duration
+}
+
+// Launch starts one mining job on the warm cluster and returns its handle.
+// The caller collects the result with Job.Wait (which also releases the
+// job's mux channel) and may Cancel it at any time without disturbing
+// co-resident jobs.
+func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: session closed")
+	}
+	s.nextCh++
+	ch := s.nextCh
+	id := opt.ID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", ch)
+	}
+	if _, live := s.jobs[id]; live {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: job id %q already running", id)
+	}
+	// Reserve the ID before dropping the lock so concurrent Launches with
+	// the same explicit ID cannot both proceed.
+	s.jobs[id] = nil
+	s.mu.Unlock()
+
+	cfg := s.cfg
+	cfg.JobID = id
+	cfg.Tracer = opt.Tracer
+	if opt.MemBudgetBytes > 0 {
+		cfg.MemBudget = memctl.NewBudget(opt.MemBudgetBytes)
+	}
+	if opt.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opt.CheckpointEvery
+	}
+	if cfg.CheckpointDir != "" {
+		cfg.CheckpointDir = filepath.Join(cfg.CheckpointDir, id)
+	}
+
+	nodes := cfg.Workers + 1
+	counters := make([]*metrics.Counters, nodes)
+	for i := range counters {
+		counters[i] = &metrics.Counters{}
+	}
+	eps, err := s.mux.Open(ch, counters, cfg.Tracer)
+	if err != nil {
+		s.forget(id)
+		return nil, err
+	}
+
+	env := &launchEnv{
+		assign:        s.assign,
+		partitionTime: s.partitionTime,
+		locals:        s.locals,
+		endpoints:     eps,
+		counters:      counters,
+		release: func() {
+			s.mux.CloseChannel(ch)
+			s.forget(id)
+		},
+	}
+	j, err := startWithEnv(s.g, a, cfg, env)
+	if err != nil {
+		s.mux.CloseChannel(ch)
+		s.forget(id)
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	return j, nil
+}
+
+func (s *Session) forget(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// ActiveJobs returns the number of jobs launched and not yet fully torn
+// down (a job leaves the count at the end of its Wait).
+func (s *Session) ActiveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Graph returns the resident graph.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Config returns the session's template config (with defaults applied).
+func (s *Session) Config() Config { return s.cfg }
+
+// PartitionTime is the one-time static partitioning cost every job
+// amortizes.
+func (s *Session) PartitionTime() time.Duration { return s.partitionTime }
+
+// EdgeCut is the partitioning edge-cut fraction of the resident
+// assignment.
+func (s *Session) EdgeCut() float64 { return s.assign.EdgeCut(s.g) }
+
+// DroppedMessages counts stale wire messages the mux discarded (traffic
+// addressed to already-torn-down jobs).
+func (s *Session) DroppedMessages() int64 { return s.mux.Dropped() }
+
+// Close cancels any jobs still running, waits for their teardown, and
+// shuts the shared transport down. The session refuses Launches from the
+// moment Close begins.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j != nil {
+			live = append(live, j)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, j := range live {
+		j.Cancel()
+	}
+	for _, j := range live {
+		_, _ = j.Wait()
+	}
+	s.mux.Close()
+	s.net.Close()
+	s.mux.WaitDemux()
+}

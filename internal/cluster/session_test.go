@@ -1,0 +1,321 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"gminer/internal/algo"
+	"gminer/internal/cluster"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/memctl"
+)
+
+// servingGraph builds one graph usable by every algorithm family: labels
+// for GraphMatch, attrs for the similarity-based miners. The session owns
+// a frozen graph, so anything jobs need must be assigned up front.
+func servingGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.RMAT(gen.RMATConfig{Scale: 9, Edges: 4000, Seed: 7})
+	gen.AssignLabels(g, 7, 99)
+	gen.AssignAttrs(g, 5, 10, 2)
+	return g
+}
+
+func joinRecords(res *cluster.Result) string {
+	out := ""
+	for _, r := range res.Records {
+		out += r + "\n"
+	}
+	return fmt.Sprintf("agg=%v\n%s", res.AggGlobal, out)
+}
+
+// TestSessionJobMatchesSingleShot: a session job must produce the byte-
+// identical result a one-shot cluster.Run produces on the same graph.
+func TestSessionJobMatchesSingleShot(t *testing.T) {
+	g := servingGraph(t)
+	ref, err := cluster.Run(g, algo.NewTriangleCount(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := cluster.NewSession(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 2; i++ { // second launch exercises rerun on a warm cluster
+		j, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := joinRecords(res), joinRecords(ref); got != want {
+			t.Fatalf("launch %d: session result diverges from single-shot:\ngot:  %q\nwant: %q", i, got, want)
+		}
+	}
+	if n := s.ActiveJobs(); n != 0 {
+		t.Fatalf("ActiveJobs after Wait: got %d want 0", n)
+	}
+}
+
+// TestSessionConcurrentJobsByteIdentical runs three different algorithms
+// concurrently over one warm cluster and checks each against its own
+// single-shot reference — the serving-mode isolation guarantee.
+func TestSessionConcurrentJobsByteIdentical(t *testing.T) {
+	g := servingGraph(t)
+	pattern := algo.FigurePattern()
+
+	// MaxClique is deliberately absent: its record set depends on aggregator
+	// propagation timing (branch-and-bound pruning), so only deterministic
+	// workloads — TC, GM, CD, the CI smoke trio — are byte-compared.
+	cd := func() *algo.CommunityDetect { return algo.NewCommunityDetect(0.2, 3) }
+	refs := make(map[string]string)
+	for name, a := range map[string]func() (res *cluster.Result, err error){
+		"tc": func() (*cluster.Result, error) { return cluster.Run(g, algo.NewTriangleCount(), smallConfig()) },
+		"cd": func() (*cluster.Result, error) { return cluster.Run(g, cd(), smallConfig()) },
+		"gm": func() (*cluster.Result, error) { return cluster.Run(g, algo.NewGraphMatch(pattern), smallConfig()) },
+	} {
+		res, err := a()
+		if err != nil {
+			t.Fatalf("%s reference: %v", name, err)
+		}
+		refs[name] = joinRecords(res)
+	}
+
+	s, err := cluster.NewSession(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := make(map[string]string)
+	errs := make(map[string]error)
+	launch := func(name string, j *cluster.Job, err error) {
+		if err != nil {
+			t.Fatalf("launch %s: %v", name, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := j.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				return
+			}
+			got[name] = joinRecords(res)
+		}()
+	}
+	j1, err1 := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{ID: "tc"})
+	j2, err2 := s.Launch(cd(), cluster.JobOptions{ID: "cd"})
+	j3, err3 := s.Launch(algo.NewGraphMatch(pattern), cluster.JobOptions{ID: "gm"})
+	launch("tc", j1, err1)
+	launch("cd", j2, err2)
+	launch("gm", j3, err3)
+	wg.Wait()
+
+	for name, err := range errs {
+		t.Fatalf("job %s: %v", name, err)
+	}
+	for name, want := range refs {
+		if got[name] != want {
+			t.Errorf("job %s diverges from its single-shot reference", name)
+		}
+	}
+	if n := s.ActiveJobs(); n != 0 {
+		t.Fatalf("ActiveJobs after all Waits: got %d want 0", n)
+	}
+}
+
+// TestSessionCancelMidJob cancels one job mid-flight and checks (a) its
+// Wait returns ErrCancelled promptly instead of hanging on queued tasks,
+// (b) a co-resident job is unaffected and still byte-identical, (c) the
+// session drains to zero active jobs.
+func TestSessionCancelMidJob(t *testing.T) {
+	g := servingGraph(t)
+	ref, err := cluster.Run(g, algo.NewTriangleCount(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated latency slows the victim's pull rounds enough that Cancel
+	// reliably lands mid-round.
+	cfg := smallConfig()
+	cfg.Latency = 500 * time.Microsecond
+	s, err := cluster.NewSession(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	victim, err := s.Launch(algo.NewMaxClique(), cluster.JobOptions{ID: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{ID: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	victim.Cancel()
+
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := victim.Wait()
+		waitDone <- err
+	}()
+	select {
+	case err := <-waitDone:
+		if !victim.Done() {
+			t.Fatal("victim Wait returned before termination")
+		}
+		if err != nil && !errors.Is(err, cluster.ErrCancelled) {
+			t.Fatalf("victim error: got %v, want ErrCancelled (or nil if it won the race)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled job failed to drain: Wait hung")
+	}
+
+	res, err := survivor.Wait()
+	if err != nil {
+		t.Fatalf("co-resident job: %v", err)
+	}
+	if got, want := joinRecords(res), joinRecords(ref); got != want {
+		t.Fatal("co-resident job result diverged after a neighbour was cancelled")
+	}
+	if n := s.ActiveJobs(); n != 0 {
+		t.Fatalf("ActiveJobs after cancel+waits: got %d want 0", n)
+	}
+}
+
+// TestSessionMemBudgetCancelsJob gives a job an impossibly small memory
+// budget and expects a cancellation wrapping memctl.ErrOOM, with the
+// session still able to serve the next job.
+func TestSessionMemBudgetCancelsJob(t *testing.T) {
+	g := servingGraph(t)
+	s, err := cluster.NewSession(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	j, err := s.Launch(algo.NewMaxClique(), cluster.JobOptions{ID: "oom", MemBudgetBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = j.Wait()
+	if !errors.Is(err, memctl.ErrOOM) {
+		t.Fatalf("budgeted job error: got %v, want wrapped memctl.ErrOOM", err)
+	}
+	if !errors.Is(err, cluster.ErrCancelled) {
+		t.Fatalf("budgeted job error: got %v, want wrapped ErrCancelled", err)
+	}
+
+	// The OOM of one job must not poison the warm cluster.
+	j2, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatalf("job after OOM neighbour: %v", err)
+	}
+}
+
+// TestSessionRejectsDuplicateLiveID and closed-session launches.
+func TestSessionLaunchValidation(t *testing.T) {
+	g := servingGraph(t)
+	s, err := cluster.NewSession(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{ID: "dup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{ID: "dup"}); err == nil {
+		t.Fatal("duplicate live job ID accepted")
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// After the first "dup" finished its ID is reusable.
+	j2, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{ID: "dup"})
+	if err != nil {
+		t.Fatalf("finished job ID not reusable: %v", err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{}); err == nil {
+		t.Fatal("closed session accepted a launch")
+	}
+}
+
+// TestRerunNoGoroutineLeak is the satellite bugfix check: running jobs
+// back to back on the same loaded graph — both single-shot and via a
+// session — must not accumulate goroutines (stale mailboxes, untracked
+// checkpoint goroutines, spill handles).
+func TestRerunNoGoroutineLeak(t *testing.T) {
+	g := servingGraph(t)
+
+	// Warm up once so lazily-started runtime goroutines don't count.
+	if _, err := cluster.Run(g, algo.NewTriangleCount(), smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	settle := func() int {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		for i := 0; i < 50; i++ {
+			time.Sleep(10 * time.Millisecond)
+			runtime.GC()
+			m := runtime.NumGoroutine()
+			if m >= n {
+				return n
+			}
+			n = m
+		}
+		return n
+	}
+	base := settle()
+
+	for i := 0; i < 3; i++ {
+		if _, err := cluster.Run(g, algo.NewTriangleCount(), smallConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := cluster.NewSession(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		j, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	after := settle()
+	// A small slack absorbs runtime background goroutines; a leak of even
+	// one mailbox or comm loop per rerun would exceed it.
+	if after > base+3 {
+		t.Fatalf("goroutines leaked across reruns: baseline %d, after %d", base, after)
+	}
+}

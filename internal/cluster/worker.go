@@ -131,6 +131,12 @@ type Worker struct {
 	snapshots   *snapshotSink
 	stealPolicy StealPolicy
 
+	// Memory budget (Config.MemBudget): budgetCharged is what this worker
+	// currently has charged (store + cache bytes; only touched from the
+	// progress loop), oomFn aborts the job when a charge overflows.
+	budgetCharged int64
+	oomFn         func(error)
+
 	// Trace handles, one per pipeline component (zero handles drop
 	// everything when Config.Tracer is nil).
 	trSeed  trace.Handle
@@ -143,10 +149,44 @@ type Worker struct {
 	lastStealReq atomic.Int64
 }
 
-// newWorker builds worker `id` over the shared frozen graph. restore, if
+// localTable is one worker's partition view: the vertex table (the hash
+// table of Figure 4) plus the hash-shuffled seed scan order. It is
+// read-only after build, so a Session shares one instance across every
+// job's worker i instead of rebuilding it per job.
+type localTable struct {
+	vertices  map[graph.VertexID]*graph.Vertex
+	ids       []graph.VertexID
+	footprint int64
+}
+
+// buildLocalTable loads worker id's partition from the shared frozen graph.
+func buildLocalTable(g *graph.Graph, assign *partition.Assignment, id int) *localTable {
+	ids := assign.Local(g, id)
+	lt := &localTable{
+		vertices: make(map[graph.VertexID]*graph.Vertex, len(ids)),
+		ids:      ids,
+	}
+	for _, vid := range ids {
+		v := g.Vertex(vid)
+		lt.vertices[vid] = v
+		lt.footprint += v.FootprintBytes()
+	}
+	// The vertex table is a hash table in the original system, so the task
+	// generator's scan order carries no ID locality; replicate that with a
+	// deterministic hash-shuffle. (Consecutive IDs in synthetic graphs
+	// share neighborhoods, which would otherwise gift the non-LSH queue an
+	// unrealistically good access pattern.)
+	sort.Slice(lt.ids, func(i, j int) bool {
+		return lsh.HashID(uint64(lt.ids[i])) < lsh.HashID(uint64(lt.ids[j]))
+	})
+	return lt
+}
+
+// newWorker builds worker `id` over the shared frozen graph. local, if
+// non-nil, is a prebuilt partition view (warm sessions); restore, if
 // non-nil, is a checkpoint snapshot to resume from.
 func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
-	assign *partition.Assignment, ep transport.Endpoint,
+	assign *partition.Assignment, local *localTable, ep transport.Endpoint,
 	counters *metrics.Counters, snapshots *snapshotSink, restore *workerSnapshot) (*Worker, error) {
 
 	w := &Worker{
@@ -180,26 +220,19 @@ func newWorker(id int, cfg Config, algo core.Algorithm, g *graph.Graph,
 	}
 
 	// Load the local partition: the graph loader + vertex table of Fig. 4.
-	ids := assign.Local(g, id)
-	w.local = make(map[graph.VertexID]*graph.Vertex, len(ids))
-	w.localIDs = ids
-	for _, vid := range ids {
-		v := g.Vertex(vid)
-		w.local[vid] = v
-		w.graphFoot += v.FootprintBytes()
+	// Warm sessions prebuild the table once and share it across jobs.
+	if local == nil {
+		local = buildLocalTable(g, assign, id)
 	}
-	// The vertex table is a hash table in the original system, so the task
-	// generator's scan order carries no ID locality; replicate that with a
-	// deterministic hash-shuffle. (Consecutive IDs in synthetic graphs
-	// share neighborhoods, which would otherwise gift the non-LSH queue an
-	// unrealistically good access pattern.)
-	sort.Slice(w.localIDs, func(i, j int) bool {
-		return lsh.HashID(uint64(w.localIDs[i])) < lsh.HashID(uint64(w.localIDs[j]))
-	})
+	w.local = local.vertices
+	w.localIDs = local.ids
+	w.graphFoot = local.footprint
 
 	spillDir := cfg.SpillDir
 	if spillDir != "" {
-		spillDir = filepath.Join(spillDir, fmt.Sprintf("worker-%d", id))
+		// The JobID segment keeps concurrent jobs' spill files apart; it is
+		// empty (a no-op path segment) in single-shot mode.
+		spillDir = filepath.Join(spillDir, cfg.JobID, fmt.Sprintf("worker-%d", id))
 	}
 	sp, err := spill.New(spillDir, counters)
 	if err != nil {
@@ -606,6 +639,13 @@ func (w *Worker) executorLoop() {
 		if !ok {
 			return
 		}
+		if w.stopped() {
+			// Cancellation drain: the queue is closed and being emptied;
+			// drop remaining ready tasks instead of running more rounds.
+			// (On a clean termination the queue is empty by construction,
+			// so this branch only fires on cancel/kill.)
+			continue
+		}
 		w.runTask(t)
 	}
 }
@@ -722,7 +762,13 @@ func (w *Worker) commLoop() {
 			w.handleAggGlobal(m.Payload)
 		case msgCheckpointReq:
 			if epoch, err := decodeEpoch(m.Payload); err == nil {
-				go w.checkpoint(epoch)
+				// Tracked in wg so job teardown can prove no checkpoint
+				// goroutine outlives the job (leak-checked reruns).
+				w.wg.Add(1)
+				go func() {
+					defer w.wg.Done()
+					w.checkpoint(epoch)
+				}()
 			}
 		case msgStop:
 			w.stop()
@@ -880,9 +926,25 @@ func (w *Worker) progressLoop() {
 }
 
 // observeMemory refreshes this worker's live-memory estimate: graph
-// partition + in-memory task store + RCV cache.
+// partition + in-memory task store + RCV cache. Job-owned bytes (store +
+// cache, not the shared resident graph) are also charged against the job's
+// memory budget when one is set; overflowing it aborts the job instead of
+// letting it starve co-resident jobs.
 func (w *Worker) observeMemory() {
-	w.counters.ObserveLive(w.graphFoot + w.store.MemBytes() + w.cache.Bytes())
+	owned := w.store.MemBytes() + w.cache.Bytes()
+	w.counters.ObserveLive(w.graphFoot + owned)
+	if w.cfg.MemBudget == nil {
+		return
+	}
+	delta := owned - w.budgetCharged
+	w.budgetCharged = owned
+	if delta < 0 {
+		w.cfg.MemBudget.Release(-delta)
+		return
+	}
+	if err := w.cfg.MemBudget.Charge(delta); err != nil && w.oomFn != nil {
+		w.oomFn(fmt.Errorf("worker %d: %w", w.id, err))
+	}
 }
 
 func (w *Worker) resultCount() int {

@@ -25,7 +25,7 @@ func newTestWorker(t *testing.T) (*Worker, *graph.Graph, *transport.LocalNetwork
 	}
 	net := transport.NewLocal(transport.LocalConfig{Nodes: 3})
 	t.Cleanup(net.Close)
-	w, err := newWorker(0, cfg, algo.NewTriangleCount(), g, assign, net.Endpoint(0),
+	w, err := newWorker(0, cfg, algo.NewTriangleCount(), g, assign, nil, net.Endpoint(0),
 		&metrics.Counters{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)

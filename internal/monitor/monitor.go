@@ -164,6 +164,37 @@ var promCounters = []promCounter{
 		func(s metrics.Snapshot) float64 { return float64(s.PeakBytes) }},
 }
 
+// JobSnapshots labels one job's per-worker snapshots for a multi-job
+// Prometheus exposition (the gminerd daemon serves many jobs from one
+// /metrics endpoint).
+type JobSnapshots struct {
+	// Job is the job-scoped ID; empty emits plain single-job series with
+	// no job label, which keeps the single-shot CLI exposition unchanged.
+	Job     string
+	Workers []metrics.Snapshot
+}
+
+// WriteProm writes the standard gminer counter families for the given
+// jobs, one series per (job, worker) pair. The single-job monitor and the
+// multi-job daemon share this table, so serving mode exposes exactly the
+// metric names dashboards already scrape, with an extra job label.
+func WriteProm(w io.Writer, jobs []JobSnapshots) {
+	for _, c := range promCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+		for _, js := range jobs {
+			for i, snap := range js.Workers {
+				if js.Job == "" {
+					fmt.Fprintf(w, "%s{worker=\"%d\"} %s\n", c.name, i,
+						strconv.FormatFloat(c.value(snap), 'g', -1, 64))
+				} else {
+					fmt.Fprintf(w, "%s{job=%q,worker=\"%d\"} %s\n", c.name, js.Job, i,
+						strconv.FormatFloat(c.value(snap), 'g', -1, 64))
+				}
+			}
+		}
+	}
+}
+
 // handleMetrics serves the Prometheus text exposition: per-worker counter
 // families from the progress table plus the tracer's latency histograms
 // and event counters when a tracer is attached.
@@ -173,14 +204,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) writeMetrics(w io.Writer) {
-	snaps := s.src.WorkerSnapshots()
-	for _, c := range promCounters {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
-		for i, snap := range snaps {
-			fmt.Fprintf(w, "%s{worker=\"%d\"} %s\n", c.name, i,
-				strconv.FormatFloat(c.value(snap), 'g', -1, 64))
-		}
-	}
+	WriteProm(w, []JobSnapshots{{Workers: s.src.WorkerSnapshots()}})
 	done := 0.0
 	if s.src.Done() {
 		done = 1

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"gminer/internal/jobspec"
+	"gminer/internal/trace"
+)
+
+// JobRequest is the JSON body of POST /jobs: the workload spec plus
+// serving-side knobs.
+type JobRequest struct {
+	jobspec.Spec
+	// ID optionally names the job. Empty lets the server pick one. A name
+	// colliding with a live or retained job is rejected with 409.
+	ID string `json:"id,omitempty"`
+	// MemBudgetBytes caps this job's owned memory (task store + RCV
+	// cache). 0 inherits the server's per-job default.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	// CheckpointEverySeconds overrides the server's checkpoint interval
+	// for this job; 0 inherits it.
+	CheckpointEverySeconds float64 `json:"checkpoint_every_seconds,omitempty"`
+}
+
+// maxJobRequestBytes bounds a POST /jobs body; a spec is a handful of
+// scalar fields, so anything near the limit is garbage or abuse.
+const maxJobRequestBytes = 1 << 16
+
+// decodeJobRequest parses and validates a POST /jobs body. It is the
+// fuzzed attack surface of the daemon: any input either yields a
+// normalised, Validate-clean request or an error — never a panic and
+// never a half-valid spec.
+func decodeJobRequest(body []byte) (JobRequest, error) {
+	var req JobRequest
+	if len(body) == 0 {
+		return req, fmt.Errorf("empty request body")
+	}
+	if len(body) > maxJobRequestBytes {
+		return req, fmt.Errorf("request body exceeds %d bytes", maxJobRequestBytes)
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("malformed JSON: %w", err)
+	}
+	req.Spec = req.Spec.Normalize()
+	if err := req.Spec.Validate(); err != nil {
+		return req, err
+	}
+	if len(req.ID) > 128 {
+		return req, fmt.Errorf("job id longer than 128 bytes")
+	}
+	for _, r := range req.ID {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '-' || r == '_' || r == '.' {
+			continue
+		}
+		return req, fmt.Errorf("job id may only contain [a-zA-Z0-9._-], got %q", req.ID)
+	}
+	if req.MemBudgetBytes < 0 {
+		return req, fmt.Errorf("mem_budget_bytes must be >= 0")
+	}
+	if req.CheckpointEverySeconds < 0 {
+		return req, fmt.Errorf("checkpoint_every_seconds must be >= 0")
+	}
+	return req, nil
+}
+
+// JobStatus is the JSON document of GET /jobs/{id} (and the elements of
+// GET /jobs).
+type JobStatus struct {
+	ID        string       `json:"id"`
+	App       string       `json:"app"`
+	State     string       `json:"state"` // queued | running | done | failed | cancelled
+	Error     string       `json:"error,omitempty"`
+	Submitted time.Time    `json:"submitted"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Progress  *JobProgress `json:"progress,omitempty"`
+	// Phases holds the job's pipeline latency percentiles (task rounds,
+	// pull RTTs, spills, migrations, checkpoints) — live while running,
+	// final once done.
+	Phases []trace.PhaseSummary `json:"phases,omitempty"`
+}
+
+// JobProgress is the live counter view of a running (or finished) job.
+type JobProgress struct {
+	TasksDone      int64   `json:"tasks_done"`
+	Results        int64   `json:"results"`
+	NetBytes       int64   `json:"net_bytes"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// JobResult is the JSON document of GET /jobs/{id}/result.
+type JobResult struct {
+	ID             string   `json:"id"`
+	App            string   `json:"app"`
+	State          string   `json:"state"`
+	Aggregate      string   `json:"aggregate,omitempty"`
+	Records        []string `json:"records"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+	EdgeCut        float64  `json:"edge_cut"`
+	TasksDone      int64    `json:"tasks_done"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeJobRequest hammers the daemon's submission decoder: any body
+// must either produce a fully validated request or an error — never a
+// panic, and never an accepted request whose spec fails validation.
+func FuzzDecodeJobRequest(f *testing.F) {
+	seeds := []string{
+		`{"app":"tc"}`,
+		`{"app":"gm","pattern":"0,1,2,1,3;-1,0,0,2,2","id":"gm-1"}`,
+		`{"app":"cd","minsim":0.5,"minsize":3}`,
+		`{"app":"mcf","split":64,"mem_budget_bytes":1048576}`,
+		`{"app":"fsm","labels":9,"seed":42}`,
+		`{"app":"TC","checkpoint_every_seconds":0.5}`,
+		`{"app":"qc","minsim":1}`,
+		`{"id":"missing-app"}`,
+		`{"app":"tc","id":"bad id with spaces"}`,
+		`{"app":"gm","pattern":";"}`,
+		`{"app":"tc","mem_budget_bytes":-1}`,
+		`not json`,
+		``,
+		`[]`,
+		`{"app":"tc","minsim":1e309}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeJobRequest(body)
+		if err != nil {
+			return
+		}
+		if verr := req.Spec.Validate(); verr != nil {
+			t.Fatalf("accepted request fails validation: %v (body %q)", verr, body)
+		}
+		if req.Spec.Normalize() != req.Spec {
+			t.Fatalf("accepted spec not normalised: %+v", req.Spec)
+		}
+		if req.MemBudgetBytes < 0 || req.CheckpointEverySeconds < 0 {
+			t.Fatalf("accepted negative resource knobs: %+v", req)
+		}
+		// An accepted request must round-trip through JSON (the client and
+		// server agree on the wire form).
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("accepted request not re-encodable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gminer/internal/cluster"
+	"gminer/internal/jobspec"
+	"gminer/internal/trace"
+)
+
+// Job states. A job moves queued → running → {done, failed, cancelled};
+// a queued job may jump straight to cancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Admission and lookup errors, mapped onto HTTP statuses by the handlers.
+var (
+	ErrQueueFull   = errors.New("server: admission queue full")         // 429
+	ErrDraining    = errors.New("server: draining, not accepting jobs") // 503
+	ErrDuplicateID = errors.New("server: job id already in use")        // 409
+	ErrUnknownJob  = errors.New("server: no such job")                  // 404
+)
+
+// Config tunes the admission controller and job retention.
+type Config struct {
+	// MaxConcurrentJobs bounds how many jobs mine simultaneously on the
+	// warm cluster. Default 2.
+	MaxConcurrentJobs int
+	// MaxQueueDepth bounds the admission queue; a submit beyond it gets
+	// HTTP 429 with a Retry-After hint. Default 8.
+	MaxQueueDepth int
+	// DefaultMemBudgetBytes is the per-job memory budget applied when a
+	// request does not set its own. 0 means unlimited.
+	DefaultMemBudgetBytes int64
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// MaxRetainedJobs bounds how many finished jobs (and their result
+	// records) stay queryable; the oldest are evicted first. Default 64.
+	MaxRetainedJobs int
+	// DrainTimeout bounds how long Shutdown waits for running jobs to
+	// finish before cancelling them. Default 30s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) defaults() Config {
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 8
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// job is one registry entry through its whole lifecycle.
+type job struct {
+	id        string
+	req       JobRequest
+	state     string
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	tracer    *trace.Tracer
+	cj        *cluster.Job    // non-nil once launched
+	result    *cluster.Result // non-nil once done
+}
+
+// registry is the job table plus the admission controller: a bounded FIFO
+// queue feeding at most MaxConcurrentJobs session launches.
+type registry struct {
+	sess *cluster.Session
+	cfg  Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled whenever running drops or states settle
+	jobs     map[string]*job
+	order    []string // submission order, for List and retention eviction
+	queue    []*job
+	running  int
+	seq      uint64
+	draining bool
+}
+
+func newRegistry(sess *cluster.Session, cfg Config) *registry {
+	r := &registry{sess: sess, cfg: cfg.defaults(), jobs: make(map[string]*job)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// submit admits one job request: validates the spec against the resident
+// graph, enqueues, and pumps the scheduler. The returned job is a
+// snapshot-safe pointer (fields guarded by r.mu).
+func (r *registry) submit(req JobRequest) (*job, error) {
+	// Validate buildability up front so a spec the resident graph cannot
+	// serve (e.g. gm on an unlabeled graph) fails the submit with 400
+	// instead of a queued job that dies later.
+	if _, err := jobspec.Build(r.sess.Graph(), req.Spec); err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, ErrDraining
+	}
+	if len(r.queue) >= r.cfg.MaxQueueDepth {
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, r.cfg.MaxQueueDepth)
+	}
+	id := req.ID
+	if id == "" {
+		for {
+			r.seq++
+			id = fmt.Sprintf("job-%d", r.seq)
+			if _, taken := r.jobs[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := r.jobs[id]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	j := &job{id: id, req: req, state: StateQueued, submitted: time.Now()}
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	r.queue = append(r.queue, j)
+	r.evictLocked()
+	r.pumpLocked()
+	return j, nil
+}
+
+// pumpLocked launches queued jobs while concurrency slots are free.
+// Callers hold r.mu.
+func (r *registry) pumpLocked() {
+	for r.running < r.cfg.MaxConcurrentJobs && len(r.queue) > 0 && !r.draining {
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		if j.state != StateQueued { // cancelled while queued
+			continue
+		}
+		a, err := jobspec.Build(r.sess.Graph(), j.req.Spec)
+		if err != nil {
+			j.state, j.err, j.finished = StateFailed, err, time.Now()
+			continue
+		}
+		budget := j.req.MemBudgetBytes
+		if budget == 0 {
+			budget = r.cfg.DefaultMemBudgetBytes
+		}
+		tracer := trace.New(r.sess.Config().Workers+1, 0).Enable()
+		opt := cluster.JobOptions{
+			ID:             j.id,
+			Tracer:         tracer,
+			MemBudgetBytes: budget,
+			CheckpointEvery: time.Duration(
+				j.req.CheckpointEverySeconds * float64(time.Second)),
+		}
+		cj, err := r.sess.Launch(a, opt)
+		if err != nil {
+			j.state, j.err, j.finished = StateFailed, err, time.Now()
+			continue
+		}
+		j.state, j.started, j.tracer, j.cj = StateRunning, time.Now(), tracer, cj
+		r.running++
+		go r.reap(j, cj)
+	}
+}
+
+// reap waits out one launched job and folds its terminal state back into
+// the registry, freeing a concurrency slot.
+func (r *registry) reap(j *job, cj *cluster.Job) {
+	res, err := cj.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.result, j.err, j.finished = res, err, time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, cluster.ErrCancelled):
+		j.state = StateCancelled
+	default:
+		j.state = StateFailed
+	}
+	r.running--
+	r.pumpLocked()
+	r.cond.Broadcast()
+}
+
+// cancel requests cooperative cancellation. A queued job is dropped on
+// the spot; a running one drains asynchronously (its state settles when
+// the reaper returns). Terminal jobs are left untouched.
+func (r *registry) cancel(id string) (*job, error) {
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	var cj *cluster.Job
+	switch j.state {
+	case StateQueued:
+		j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
+		r.cond.Broadcast()
+	case StateRunning:
+		cj = j.cj
+	}
+	r.mu.Unlock()
+	if cj != nil {
+		cj.Cancel()
+	}
+	return j, nil
+}
+
+func (r *registry) get(id string) (*job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap so
+// a long-lived daemon's result store cannot grow without bound.
+func (r *registry) evictLocked() {
+	terminal := 0
+	for _, id := range r.order {
+		if isTerminal(r.jobs[id].state) {
+			terminal++
+		}
+	}
+	if terminal <= r.cfg.MaxRetainedJobs {
+		return
+	}
+	kept := r.order[:0]
+	for _, id := range r.order {
+		if terminal > r.cfg.MaxRetainedJobs && isTerminal(r.jobs[id].state) {
+			delete(r.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	r.order = kept
+}
+
+func isTerminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// counts returns (queued, running, per-terminal-state totals) for /metrics
+// and /healthz.
+func (r *registry) counts() (queued, running int, terminal map[string]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	terminal = map[string]int{StateDone: 0, StateFailed: 0, StateCancelled: 0}
+	for _, j := range r.jobs {
+		switch {
+		case j.state == StateQueued:
+			queued++
+		case j.state == StateRunning:
+			running++
+		default:
+			terminal[j.state]++
+		}
+	}
+	return queued, running, terminal
+}
+
+// drain refuses new submissions, cancels everything still queued, then
+// waits up to timeout for running jobs to finish on their own (their
+// periodic checkpoints keep landing while they run out). Jobs still
+// running at the deadline are cancelled and waited out.
+func (r *registry) drain(timeout time.Duration) {
+	r.mu.Lock()
+	r.draining = true
+	for _, j := range r.queue {
+		if j.state == StateQueued {
+			j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
+		}
+	}
+	r.queue = nil
+	r.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	done := make(chan struct{})
+	go func() {
+		r.mu.Lock()
+		for r.running > 0 {
+			r.cond.Wait()
+		}
+		r.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-time.After(time.Until(deadline)):
+	}
+
+	// Deadline passed: cancel stragglers and wait for their reapers.
+	r.mu.Lock()
+	var live []*cluster.Job
+	for _, j := range r.jobs {
+		if j.state == StateRunning && j.cj != nil {
+			live = append(live, j.cj)
+		}
+	}
+	r.mu.Unlock()
+	for _, cj := range live {
+		cj.Cancel()
+	}
+	<-done
+}

@@ -1,0 +1,325 @@
+// Package server is the job-serving subsystem behind the gminerd daemon:
+// a long-lived process that loads and BDG-partitions the graph once,
+// keeps the cluster warm (worker tables, transport, partition
+// assignment), and serves concurrent mining jobs over HTTP/JSON. It
+// layers a job registry and an admission controller (bounded queue,
+// concurrency cap, per-job memory budgets) on cluster.Session, which
+// supplies the isolation and byte-identical-to-single-shot guarantees.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gminer/internal/cluster"
+	"gminer/internal/metrics"
+	"gminer/internal/monitor"
+)
+
+// Server serves mining jobs over one warm cluster.Session.
+type Server struct {
+	sess  *cluster.Session
+	reg   *registry
+	cfg   Config
+	start time.Time
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New builds a Server over an already-warm session. The caller keeps
+// ownership of the session's graph (it must be fully prepared — labels,
+// attributes — before any job runs; see jobspec.Prepare).
+func New(sess *cluster.Session, cfg Config) *Server {
+	return &Server{
+		sess:  sess,
+		reg:   newRegistry(sess, cfg),
+		cfg:   cfg.defaults(),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:7077", ":0") and serves until
+// Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown is the graceful stop behind SIGINT/SIGTERM: refuse new jobs,
+// cancel the queue, give running jobs up to the drain timeout to finish
+// (checkpointing as they go), cancel stragglers, then close the listener
+// — releasing the port — and tear the warm cluster down.
+func (s *Server) Shutdown() {
+	s.reg.drain(s.cfg.defaults().DrainTimeout)
+	if s.srv != nil {
+		_ = s.srv.Close()
+		s.srv = nil
+	}
+	s.sess.Close()
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxJobRequestBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := decodeJobRequest(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.reg.submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrDuplicateID):
+		writeErr(w, http.StatusConflict, err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONCode(w, http.StatusAccepted, s.statusOf(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.reg.mu.Lock()
+	ids := append([]string(nil), s.reg.order...)
+	s.reg.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, err := s.reg.get(id); err == nil {
+			out = append(out, s.statusOf(j))
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.reg.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, s.statusOf(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.reg.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.reg.mu.Lock()
+	state, res, jerr := j.state, j.result, j.err
+	app, id := j.req.App, j.id
+	s.reg.mu.Unlock()
+	switch state {
+	case StateQueued, StateRunning:
+		// Not done yet: 202 tells pollers to come back.
+		writeJSONCode(w, http.StatusAccepted, s.statusOf(j))
+		return
+	case StateFailed, StateCancelled:
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s: %v", id, state, jerr))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		// One record per line, byte-identical to the single-shot CLI's
+		// -out file for the same graph and spec.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rec := range res.Records {
+			_, _ = io.WriteString(w, rec)
+			_, _ = io.WriteString(w, "\n")
+		}
+		return
+	}
+	records := res.Records
+	if records == nil {
+		records = []string{}
+	}
+	out := JobResult{
+		ID:             id,
+		App:            app,
+		State:          state,
+		Records:        records,
+		ElapsedSeconds: res.Elapsed.Seconds(),
+		EdgeCut:        res.EdgeCut,
+		TasksDone:      res.Total.TasksDone,
+	}
+	if res.AggGlobal != nil {
+		out.Aggregate = fmt.Sprintf("%v", res.AggGlobal)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.reg.cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, s.statusOf(j))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	queued, running, _ := s.reg.counts()
+	s.reg.mu.Lock()
+	draining := s.reg.draining
+	s.reg.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSONCode(w, code, map[string]any{
+		"status":   map[bool]string{false: "ok", true: "draining"}[draining],
+		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
+		"graph":    map[string]int{"vertices": s.sess.Graph().NumVertices()},
+		"queued":   queued,
+		"running":  running,
+		"sessions": 1,
+	})
+}
+
+// handleMetrics reuses the monitor package's Prometheus family table with
+// per-job labels, plus daemon-level job gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	s.reg.mu.Lock()
+	var labeled []monitor.JobSnapshots
+	for _, id := range s.reg.order {
+		j := s.reg.jobs[id]
+		var snaps []metrics.Snapshot
+		switch {
+		case j.cj != nil && j.state == StateRunning:
+			snaps = j.cj.WorkerSnapshots()
+		case j.result != nil:
+			snaps = j.result.PerWorker
+		}
+		if snaps != nil {
+			labeled = append(labeled, monitor.JobSnapshots{Job: id, Workers: snaps})
+		}
+	}
+	s.reg.mu.Unlock()
+	monitor.WriteProm(w, labeled)
+
+	queued, running, terminal := s.reg.counts()
+	fmt.Fprintf(w, "# HELP gminer_jobs_active Jobs currently mining on the warm cluster.\n# TYPE gminer_jobs_active gauge\ngminer_jobs_active %d\n", running)
+	fmt.Fprintf(w, "# HELP gminer_jobs_queued Jobs waiting in the admission queue.\n# TYPE gminer_jobs_queued gauge\ngminer_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "# HELP gminer_jobs_finished_total Retained jobs by terminal state.\n# TYPE gminer_jobs_finished_total counter\n")
+	for _, st := range []string{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "gminer_jobs_finished_total{state=%q} %d\n", st, terminal[st])
+	}
+	fmt.Fprintf(w, "# HELP gminer_uptime_seconds Time since the daemon started.\n# TYPE gminer_uptime_seconds gauge\ngminer_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(s.start).Seconds(), 'g', -1, 64))
+}
+
+// statusOf snapshots one job into its API document.
+func (s *Server) statusOf(j *job) JobStatus {
+	s.reg.mu.Lock()
+	st := JobStatus{
+		ID:        j.id,
+		App:       j.req.App,
+		State:     j.state,
+		Submitted: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	cj, tracer, res, started := j.cj, j.tracer, j.result, j.started
+	s.reg.mu.Unlock()
+
+	switch {
+	case res != nil:
+		st.Progress = &JobProgress{
+			TasksDone:      res.Total.TasksDone,
+			Results:        res.Total.Results,
+			NetBytes:       res.Total.NetBytes,
+			CacheHitRate:   res.Total.CacheHitRate(),
+			ElapsedSeconds: res.Elapsed.Seconds(),
+		}
+		st.Phases = res.Phases
+	case cj != nil:
+		var total metrics.Snapshot
+		for _, snap := range cj.WorkerSnapshots() {
+			total = total.Add(snap)
+		}
+		st.Progress = &JobProgress{
+			TasksDone:      total.TasksDone,
+			Results:        total.Results,
+			NetBytes:       total.NetBytes,
+			CacheHitRate:   total.CacheHitRate(),
+			ElapsedSeconds: time.Since(started).Seconds(),
+		}
+		st.Phases = tracer.Summary()
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONCode(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}

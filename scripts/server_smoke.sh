@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end serving-mode smoke test.
+#
+# Starts a gminerd daemon over one warm cluster, submits three concurrent
+# jobs (tc, gm, cd), and requires every served result to be byte-identical
+# to the single-shot CLI run of the same spec on the same dataset. A
+# fourth job is cancelled mid-flight and must drain without disturbing the
+# daemon (healthz stays ok, gminer_jobs_active returns to 0). Finally the
+# daemon is SIGTERMed and must release its port for an immediate rebind.
+set -euo pipefail
+
+PRESET="${PRESET:-dblp-s}"
+SCALE="${SCALE:-0.5}"
+PORT="${PORT:-17077}"
+ADDR="127.0.0.1:${PORT}"
+WORKERS=3
+THREADS=2
+DIR="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$DIR/gminer" ./cmd/gminer
+go build -o "$DIR/gminerd" ./cmd/gminerd
+
+echo "== single-shot references"
+for app in tc gm cd; do
+  "$DIR/gminer" -preset "$PRESET" -scale "$SCALE" -app "$app" \
+    -workers "$WORKERS" -threads "$THREADS" -out "$DIR/$app.ref.txt" \
+    | tee "$DIR/$app.ref.log" | grep -E 'aggregate|records' || true
+  grep -oE 'aggregate: +.*' "$DIR/$app.ref.log" | awk '{print $2}' \
+    > "$DIR/$app.ref.agg" || true
+done
+
+echo "== start daemon"
+"$DIR/gminerd" -preset "$PRESET" -scale "$SCALE" \
+  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" -max-jobs 4 \
+  > "$DIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || {
+  echo "daemon never became healthy"; cat "$DIR/daemon.log"; exit 1;
+}
+
+echo "== submit 3 concurrent jobs"
+for app in tc gm cd; do
+  curl -sf -X POST "http://$ADDR/jobs" \
+    -H 'Content-Type: application/json' \
+    -d "{\"app\":\"$app\",\"id\":\"$app\"}" >/dev/null
+done
+
+echo "== submit + cancel a 4th mid-flight"
+curl -sf -X POST "http://$ADDR/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"app":"mcf","id":"victim"}' >/dev/null
+curl -sf -X DELETE "http://$ADDR/jobs/victim" >/dev/null
+
+echo "== await terminal states"
+await() {
+  local id=$1 deadline=$((SECONDS + 120))
+  while [ "$SECONDS" -lt "$deadline" ]; do
+    state="$(curl -sf "http://$ADDR/jobs/$id" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+    case "$state" in done|failed|cancelled) echo "$state"; return 0 ;; esac
+    sleep 0.1
+  done
+  echo "timeout"; return 1
+}
+for app in tc gm cd; do
+  state="$(await "$app")"
+  [ "$state" = done ] || { echo "job $app ended $state"; cat "$DIR/daemon.log"; exit 1; }
+done
+vstate="$(await victim)"
+case "$vstate" in
+  cancelled) echo "victim cancelled mid-flight" ;;
+  done)      echo "victim finished before cancel landed (race, acceptable)" ;;
+  *)         echo "victim ended $vstate"; exit 1 ;;
+esac
+
+echo "== byte-identical records vs single-shot"
+for app in tc gm cd; do
+  curl -sf "http://$ADDR/jobs/$app/result?format=text" > "$DIR/$app.served.txt"
+  diff "$DIR/$app.ref.txt" "$DIR/$app.served.txt" \
+    || { echo "job $app records diverge from single-shot run"; exit 1; }
+done
+
+echo "== identical aggregates"
+for app in tc gm; do
+  served="$(curl -sf "http://$ADDR/jobs/$app/result" \
+    | sed -n 's/.*"aggregate":"\([^"]*\)".*/\1/p')"
+  ref="$(cat "$DIR/$app.ref.agg")"
+  [ "$served" = "$ref" ] \
+    || { echo "job $app aggregate: served '$served' != single-shot '$ref'"; exit 1; }
+done
+
+echo "== daemon healthy, cancelled job fully drained"
+curl -sf "http://$ADDR/healthz" | grep -q '"status":"ok"' \
+  || { echo "daemon unhealthy after cancel"; exit 1; }
+active="$(curl -sf "http://$ADDR/metrics" | awk '/^gminer_jobs_active /{print $2}')"
+[ "$active" = 0 ] || { echo "gminer_jobs_active=$active, want 0"; exit 1; }
+
+echo "== graceful shutdown releases the port"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+grep -q "shutdown complete" "$DIR/daemon.log" \
+  || { echo "daemon did not shut down gracefully"; cat "$DIR/daemon.log"; exit 1; }
+DAEMON_PID=""
+
+"$DIR/gminerd" -preset "$PRESET" -scale "$SCALE" \
+  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" \
+  > "$DIR/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null \
+  || { echo "restart on the same port failed"; cat "$DIR/daemon2.log"; exit 1; }
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
+
+echo "server smoke: OK"

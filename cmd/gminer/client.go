@@ -43,10 +43,15 @@ func clientSubmit(args []string) {
 		minSize = fs.Int("minsize", 4, "cd/gc/qc minimum community size")
 		split   = fs.Int("split", 0, "mcf recursive task split threshold (0=off)")
 		memCap  = fs.Int64("mem-budget", 0, "per-job memory budget in bytes (0: server default)")
-		wait    = fs.Bool("wait", false, "block until the job finishes and print its final state")
-		emit    = fs.Bool("emit", false, "with -wait: print result records (implies -wait)")
-		outPath = fs.String("out", "", "with -wait: write result records to this file (implies -wait)")
-		poll    = fs.Duration("poll", 50*time.Millisecond, "status poll interval while waiting")
+
+		tenant   = fs.String("tenant", "", "tenant this job bills to (empty: \"default\")")
+		priority = fs.Int("priority", 0, "scheduling weight within weighted-fair sharing, 1..16 (0: default 1)")
+		deadline = fs.Duration("deadline", 0, "queue+run deadline; past it the job is shed or preempted (0: none)")
+		budget   = fs.Duration("budget", 0, "compute budget in busy-thread time; over it the job is preempted (0: server default)")
+		wait     = fs.Bool("wait", false, "block until the job finishes and print its final state")
+		emit     = fs.Bool("emit", false, "with -wait: print result records (implies -wait)")
+		outPath  = fs.String("out", "", "with -wait: write result records to this file (implies -wait)")
+		poll     = fs.Duration("poll", 50*time.Millisecond, "status poll interval while waiting")
 	)
 	_ = fs.Parse(args)
 	if *emit || *outPath != "" {
@@ -55,11 +60,15 @@ func clientSubmit(args []string) {
 
 	req := server.JobRequest{
 		Spec: jobspec.Spec{
-			App:     *app,
-			Pattern: *pattern,
-			MinSim:  *minSim,
-			MinSize: *minSize,
-			Split:   *split,
+			App:             *app,
+			Pattern:         *pattern,
+			MinSim:          *minSim,
+			MinSize:         *minSize,
+			Split:           *split,
+			Tenant:          *tenant,
+			Priority:        *priority,
+			DeadlineSeconds: deadline.Seconds(),
+			BudgetSeconds:   budget.Seconds(),
 		},
 		ID:             *id,
 		MemBudgetBytes: *memCap,
@@ -112,7 +121,11 @@ func clientStatus(args []string) {
 			if j.Progress != nil {
 				tasks, records = j.Progress.TasksDone, j.Progress.Results
 			}
-			fmt.Printf("%-16s %-6s %-10s %10d %10d\n", j.ID, j.App, j.State, tasks, records)
+			state := j.State
+			if j.Cached {
+				state += " [cached]"
+			}
+			fmt.Printf("%-16s %-6s %-10s %10d %10d\n", j.ID, j.App, state, tasks, records)
 		}
 		return
 	}
@@ -175,9 +188,25 @@ func fetchRecords(baseURL, id, outPath string, emit bool) {
 }
 
 func printStatus(st server.JobStatus) {
-	fmt.Printf("job %s (%s): %s\n", st.ID, st.App, st.State)
+	marker := ""
+	if st.Cached {
+		marker = " [cached]"
+	}
+	fmt.Printf("job %s (%s): %s%s\n", st.ID, st.App, st.State, marker)
 	if st.Error != "" {
 		fmt.Printf("  error:   %s\n", st.Error)
+	}
+	if st.Tenant != "" {
+		line := fmt.Sprintf("  tenant:  %s  priority: %d  queue wait: %.3fs", st.Tenant, st.Priority, st.QueueWaitSeconds)
+		if st.QueuePosition > 0 {
+			line += fmt.Sprintf("  queue position: %d", st.QueuePosition)
+		}
+		if st.CostSeconds > 0 {
+			line += fmt.Sprintf("  cost: %.3fs", st.CostSeconds)
+		} else if st.CostEstimateSeconds > 0 {
+			line += fmt.Sprintf("  est. cost: %.3fs", st.CostEstimateSeconds)
+		}
+		fmt.Println(line)
 	}
 	if st.Progress != nil {
 		fmt.Printf("  elapsed: %.3fs  tasks: %d  records: %d  net: %dB  cache hit: %.1f%%\n",
@@ -191,7 +220,12 @@ func printStatus(st server.JobStatus) {
 }
 
 func terminalState(s string) bool {
-	return s == server.StateDone || s == server.StateFailed || s == server.StateCancelled
+	switch s {
+	case server.StateDone, server.StateFailed, server.StateCancelled,
+		server.StatePreempted, server.StateShed:
+		return true
+	}
+	return false
 }
 
 func base(addr string) string {

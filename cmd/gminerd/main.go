@@ -52,8 +52,10 @@ func main() {
 
 		addr         = flag.String("addr", "127.0.0.1:7077", "HTTP listen address")
 		maxJobs      = flag.Int("max-jobs", 2, "maximum concurrently mining jobs")
-		queueDepth   = flag.Int("queue-depth", 8, "admission queue depth (beyond it, submissions get 429)")
+		queueDepth   = flag.Int("queue-depth", 8, "admission queue depth (beyond it, submissions get 429 or shed queued work)")
 		jobMem       = flag.Int64("job-mem", 0, "default per-job memory budget in bytes (0=unlimited)")
+		jobBudget    = flag.Duration("job-budget", 0, "default per-job compute budget in busy-thread time (0=unlimited); over-budget jobs are preempted at a round boundary")
+		resultCache  = flag.Int("result-cache", 256, "result cache entries (repeat queries answered without recompute; 0=disabled)")
 		retain       = flag.Int("retain", 64, "finished jobs kept queryable before eviction")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown wait for running jobs before cancelling them")
 	)
@@ -102,10 +104,16 @@ func main() {
 	fmt.Printf("warm cluster: %d workers x %d threads, %s partitioning in %.3fs (edge cut %.1f%%)\n",
 		*workers, *threads, *part, sess.PartitionTime().Seconds(), 100*sess.EdgeCut())
 
+	cacheEntries := *resultCache
+	if cacheEntries <= 0 {
+		cacheEntries = -1 // registry treats negative as disabled, 0 as default
+	}
 	srv := server.New(sess, server.Config{
 		MaxConcurrentJobs:     *maxJobs,
 		MaxQueueDepth:         *queueDepth,
 		DefaultMemBudgetBytes: *jobMem,
+		DefaultBudgetSeconds:  jobBudget.Seconds(),
+		ResultCacheEntries:    cacheEntries,
 		MaxRetainedJobs:       *retain,
 		DrainTimeout:          *drainTimeout,
 	})

@@ -121,6 +121,15 @@ type Config struct {
 	// Create it with trace.New(Workers+1, ...) so the master has a ring.
 	Tracer *trace.Tracer
 
+	// RoundHook, if non-nil, is called by the master once per scheduling
+	// round (every ProgressInterval tick) with the round number, from the
+	// master goroutine. It is the cooperative-preemption point the serving
+	// layer uses to stop over-budget or past-deadline jobs at a round
+	// boundary: the hook may call Job.CancelCause, which only closes a
+	// channel, so it is safe from here. Keep it fast — it runs on the
+	// master's control loop.
+	RoundHook func(round int64)
+
 	// PullServeWorkers is the size of the per-worker pool serving
 	// incoming pull requests. With 1, responses are encoded inline on the
 	// communication loop (the paper's request listener); more workers

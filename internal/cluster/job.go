@@ -535,6 +535,18 @@ func (j *Job) Stop() {
 // that already terminated is unaffected (Wait keeps its nil error).
 func (j *Job) Cancel() { j.cancelWith(ErrCancelled) }
 
+// CancelCause cancels like Cancel but attributes a cause: Wait's error
+// wraps both ErrCancelled and cause, so callers can distinguish a user
+// cancel from, say, a QoS preemption with errors.Is. A nil cause is a
+// plain Cancel. Safe to call from Config.RoundHook.
+func (j *Job) CancelCause(cause error) {
+	if cause == nil {
+		j.Cancel()
+		return
+	}
+	j.cancelWith(fmt.Errorf("%w: %w", ErrCancelled, cause))
+}
+
 func (j *Job) cancelWith(err error) {
 	j.cancelOnce.Do(func() {
 		if !j.Done() {

@@ -77,6 +77,7 @@ func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
 func (m *master) run() {
 	defer close(m.doneCh)
 	tick := m.cfg.ProgressInterval
+	var round int64
 	for {
 		select {
 		case <-m.stopCh:
@@ -99,6 +100,10 @@ func (m *master) run() {
 			}
 		}
 		m.periodic()
+		round++
+		if m.cfg.RoundHook != nil {
+			m.cfg.RoundHook(round)
+		}
 		if m.checkTermination() {
 			m.broadcast(msgStop, nil)
 			return

@@ -107,6 +107,11 @@ type JobOptions struct {
 	// CheckpointEvery overrides the template's checkpoint interval for
 	// this job; 0 inherits it.
 	CheckpointEvery time.Duration
+	// RoundHook, if non-nil, is called by the job's master once per
+	// scheduling round (see Config.RoundHook). The serving layer's QoS
+	// enforcement point: budget and deadline checks run here so a job is
+	// only ever stopped at a round boundary.
+	RoundHook func(round int64)
 }
 
 // Launch starts one mining job on the warm cluster and returns its handle.
@@ -137,6 +142,7 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 	cfg := s.cfg
 	cfg.JobID = id
 	cfg.Tracer = opt.Tracer
+	cfg.RoundHook = opt.RoundHook
 	if opt.MemBudgetBytes > 0 {
 		cfg.MemBudget = memctl.NewBudget(opt.MemBudgetBytes)
 	}
@@ -208,6 +214,12 @@ func (s *Session) PartitionTime() time.Duration { return s.partitionTime }
 // EdgeCut is the partitioning edge-cut fraction of the resident
 // assignment.
 func (s *Session) EdgeCut() float64 { return s.assign.EdgeCut(s.g) }
+
+// Fingerprint identifies the resident graph plus the session topology
+// (worker count, partitioner) — everything that, beyond the workload
+// spec itself, determines a job's output. The serving layer's result
+// cache keys on it so entries die with the graph they were computed on.
+func (s *Session) Fingerprint() uint64 { return jobFingerprint(s.g, "session", s.cfg) }
 
 // DroppedMessages counts stale wire messages the mux discarded (traffic
 // addressed to already-torn-down jobs).

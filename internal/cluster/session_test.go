@@ -265,6 +265,85 @@ func TestSessionLaunchValidation(t *testing.T) {
 	}
 }
 
+// TestRoundHookCancelCause: the QoS enforcement contract. The per-round
+// hook must fire with increasing round numbers while the job runs, and a
+// CancelCause issued from it must surface the cause from Wait wrapped in
+// ErrCancelled — the signal the serving layer maps to "preempted".
+func TestRoundHookCancelCause(t *testing.T) {
+	g := servingGraph(t)
+	cfg := smallConfig()
+	// Slow the rounds down so the job is still mid-flight at round 3.
+	cfg.Latency = 500 * time.Microsecond
+	s, err := cluster.NewSession(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	overBudget := errors.New("test: over budget")
+	fired := make(chan int64, 1)
+	var lastRound int64
+	hook := func(round int64) {
+		if round <= lastRound {
+			t.Errorf("round hook went backwards: %d after %d", round, lastRound)
+		}
+		lastRound = round
+		if round == 3 {
+			fired <- round
+		}
+	}
+	j, err := s.Launch(algo.NewMaxClique(), cluster.JobOptions{ID: "hooked", RoundHook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(30 * time.Second):
+		t.Fatal("round hook never reached round 3")
+	}
+	j.CancelCause(overBudget)
+	_, err = j.Wait()
+	if !errors.Is(err, overBudget) {
+		t.Fatalf("Wait error: got %v, want wrapped cause", err)
+	}
+	if !errors.Is(err, cluster.ErrCancelled) {
+		t.Fatalf("Wait error: got %v, want wrapped ErrCancelled", err)
+	}
+
+	// nil cause degrades to a plain Cancel.
+	j2, err := s.Launch(algo.NewMaxClique(), cluster.JobOptions{ID: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.CancelCause(nil)
+	if _, err := j2.Wait(); err != nil && !errors.Is(err, cluster.ErrCancelled) {
+		t.Fatalf("nil-cause cancel: got %v, want ErrCancelled (or nil if it won the race)", err)
+	}
+}
+
+// TestSessionFingerprint: stable across calls, sensitive to the graph.
+func TestSessionFingerprint(t *testing.T) {
+	g := servingGraph(t)
+	s, err := cluster.NewSession(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fp := s.Fingerprint()
+	if fp == 0 || fp != s.Fingerprint() {
+		t.Fatalf("fingerprint unstable: %x vs %x", fp, s.Fingerprint())
+	}
+	g2 := gen.RMAT(gen.RMATConfig{Scale: 8, Edges: 2000, Seed: 8})
+	s2, err := cluster.NewSession(g2, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Fingerprint() == fp {
+		t.Fatal("different graphs share a session fingerprint")
+	}
+}
+
 // TestRerunNoGoroutineLeak is the satellite bugfix check: running jobs
 // back to back on the same loaded graph — both single-shot and via a
 // session — must not accumulate goroutines (stale mailboxes, untracked

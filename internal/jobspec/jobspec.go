@@ -7,6 +7,7 @@ package jobspec
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -38,24 +39,78 @@ type Spec struct {
 	// attrs: 2). It never affects an already-labeled graph, so jobs on a
 	// serving daemon's resident graph ignore it.
 	Seed int64 `json:"seed,omitempty"`
+
+	// Serving-side QoS hints (internal/qos). They shape when and whether
+	// a job runs — never what it computes — so CacheKey excludes them.
+
+	// Tenant attributes the job to one tenant for weighted-fair
+	// scheduling, spend metering and per-tenant metrics. Empty
+	// normalizes to "default". Same charset as job IDs.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the tenant-share weight of this job in the admission
+	// queue: a tenant dequeues at Priority× the rate of priority-1 work
+	// at equal cost. Normalized into [1, MaxPriority].
+	Priority int `json:"priority,omitempty"`
+	// DeadlineSeconds is a completion deadline measured from submission:
+	// a job still queued past it is shed; a running one is stopped at
+	// the next round boundary. 0 means none.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// BudgetSeconds caps the job's compute spend (busy thread-seconds
+	// summed over workers); an over-budget job is preempted at the next
+	// round boundary. 0 inherits the server default (possibly unlimited).
+	BudgetSeconds float64 `json:"budget_seconds,omitempty"`
 }
+
+// MaxPriority bounds the Priority weight so one tenant cannot claim an
+// effectively infinite share.
+const MaxPriority = 16
 
 // Apps lists the valid App values.
 func Apps() []string { return []string{"tc", "mcf", "gm", "cd", "gc", "gl3", "qc", "fsm"} }
 
-// Normalize fills defaulted fields and canonicalises App.
+// Normalize fills defaulted fields and canonicalises App. It is
+// idempotent and deterministic (FuzzNormalizeStable): two specs that
+// differ only in default-vs-explicit values normalize identically, which
+// is what makes the normalized spec usable as a cache key.
 func (s Spec) Normalize() Spec {
 	s.App = strings.ToLower(strings.TrimSpace(s.App))
 	if s.Labels <= 0 {
 		s.Labels = 7
 	}
-	if s.MinSim <= 0 {
+	if s.MinSim <= 0 || math.IsNaN(s.MinSim) {
 		s.MinSim = 0.6
 	}
 	if s.MinSize <= 0 {
 		s.MinSize = 4
 	}
+	s.Tenant = strings.TrimSpace(s.Tenant)
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Priority <= 0 {
+		s.Priority = 1
+	}
+	if s.Priority > MaxPriority {
+		s.Priority = MaxPriority
+	}
+	if math.IsNaN(s.DeadlineSeconds) {
+		s.DeadlineSeconds = 0
+	}
+	if math.IsNaN(s.BudgetSeconds) {
+		s.BudgetSeconds = 0
+	}
 	return s
+}
+
+// CacheKey is the canonical identity of the workload for result caching:
+// every field that changes what is computed, and none that only changes
+// when or for whom it runs (tenant, priority, deadline, budget). Two
+// specs with equal CacheKeys on the same resident graph produce
+// byte-identical results.
+func (s Spec) CacheKey() string {
+	n := s.Normalize()
+	return fmt.Sprintf("app=%s|labels=%d|pattern=%s|minsim=%g|minsize=%d|split=%d|seed=%d",
+		n.App, n.Labels, n.Pattern, n.MinSim, n.MinSize, n.Split, n.Seed)
 }
 
 // Validate checks the normalised spec without needing a graph.
@@ -86,6 +141,27 @@ func (s Spec) Validate() error {
 		if _, err := ParsePattern(s.Pattern); err != nil {
 			return err
 		}
+	}
+	if len(s.Tenant) > 64 {
+		return fmt.Errorf("jobspec: tenant longer than 64 bytes")
+	}
+	for _, r := range s.Tenant {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '-' || r == '_' || r == '.' {
+			continue
+		}
+		// The tenant becomes a Prometheus label and a log token; keep it
+		// to the same safe charset as job IDs.
+		return fmt.Errorf("jobspec: tenant may only contain [a-zA-Z0-9._-], got %q", s.Tenant)
+	}
+	if s.Priority < 0 {
+		return fmt.Errorf("jobspec: priority %d < 0", s.Priority)
+	}
+	if s.DeadlineSeconds < 0 || math.IsInf(s.DeadlineSeconds, 0) {
+		return fmt.Errorf("jobspec: deadline_seconds %v outside [0, +inf)", s.DeadlineSeconds)
+	}
+	if s.BudgetSeconds < 0 || math.IsInf(s.BudgetSeconds, 0) {
+		return fmt.Errorf("jobspec: budget_seconds %v outside [0, +inf)", s.BudgetSeconds)
 	}
 	return nil
 }

@@ -1,0 +1,165 @@
+package jobspec_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"gminer/internal/jobspec"
+)
+
+// TestNormalizeCacheIdentity: specs that differ only in JSON field order
+// or in default-vs-explicit values must normalize to the same spec and
+// the same cache key — the property the serving layer's result cache
+// depends on.
+func TestNormalizeCacheIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string // JSON bodies
+	}{
+		{
+			"field order",
+			`{"app":"gm","pattern":"0,1,2,1,3;-1,0,0,2,2","minsize":4}`,
+			`{"minsize":4,"pattern":"0,1,2,1,3;-1,0,0,2,2","app":"gm"}`,
+		},
+		{
+			"default vs explicit labels",
+			`{"app":"gm"}`,
+			`{"app":"gm","labels":7}`,
+		},
+		{
+			"default vs explicit minsim/minsize",
+			`{"app":"cd"}`,
+			`{"app":"cd","minsim":0.6,"minsize":4}`,
+		},
+		{
+			"app case and whitespace",
+			`{"app":" TC "}`,
+			`{"app":"tc"}`,
+		},
+		{
+			"default vs explicit tenant and priority",
+			`{"app":"tc"}`,
+			`{"app":"tc","tenant":"default","priority":1}`,
+		},
+		{
+			"zero vs omitted split",
+			`{"app":"mcf","split":0}`,
+			`{"app":"mcf"}`,
+		},
+	}
+	for _, tc := range cases {
+		var sa, sb jobspec.Spec
+		if err := json.Unmarshal([]byte(tc.a), &sa); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := json.Unmarshal([]byte(tc.b), &sb); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		na, nb := sa.Normalize(), sb.Normalize()
+		if na != nb {
+			t.Errorf("%s: normalized specs differ:\n%+v\n%+v", tc.name, na, nb)
+		}
+		if na.CacheKey() != nb.CacheKey() {
+			t.Errorf("%s: cache keys differ:\n%s\n%s", tc.name, na.CacheKey(), nb.CacheKey())
+		}
+	}
+}
+
+// TestCacheKeyExcludesQoSHints: tenant, priority, deadline and budget
+// must not change the cache key (they change when a job runs, not what
+// it computes), while every workload field must.
+func TestCacheKeyExcludesQoSHints(t *testing.T) {
+	base := jobspec.Spec{App: "gm"}
+	for _, qosVariant := range []jobspec.Spec{
+		{App: "gm", Tenant: "alice"},
+		{App: "gm", Priority: 9},
+		{App: "gm", DeadlineSeconds: 30},
+		{App: "gm", BudgetSeconds: 5},
+		{App: "gm", Tenant: "bob", Priority: 3, DeadlineSeconds: 1, BudgetSeconds: 2},
+	} {
+		if qosVariant.CacheKey() != base.CacheKey() {
+			t.Errorf("QoS hint changed the cache key: %+v", qosVariant)
+		}
+	}
+	for _, workloadVariant := range []jobspec.Spec{
+		{App: "tc"},
+		{App: "gm", Labels: 5},
+		{App: "gm", Pattern: "0,1;-1,0"},
+		{App: "gm", MinSim: 0.9},
+		{App: "gm", MinSize: 6},
+		{App: "gm", Split: 10},
+		{App: "gm", Seed: 42},
+	} {
+		if workloadVariant.CacheKey() == base.CacheKey() {
+			t.Errorf("workload field did not change the cache key: %+v", workloadVariant)
+		}
+	}
+}
+
+func TestNormalizeQoSFields(t *testing.T) {
+	n := jobspec.Spec{App: "tc"}.Normalize()
+	if n.Tenant != "default" || n.Priority != 1 {
+		t.Fatalf("QoS defaults: tenant=%q priority=%d", n.Tenant, n.Priority)
+	}
+	n = jobspec.Spec{App: "tc", Tenant: "  alice ", Priority: 999}.Normalize()
+	if n.Tenant != "alice" {
+		t.Fatalf("tenant not trimmed: %q", n.Tenant)
+	}
+	if n.Priority != jobspec.MaxPriority {
+		t.Fatalf("priority not clamped: %d", n.Priority)
+	}
+	n = jobspec.Spec{App: "tc", MinSim: math.NaN(), DeadlineSeconds: math.NaN(), BudgetSeconds: math.NaN()}.Normalize()
+	if n.MinSim != 0.6 || n.DeadlineSeconds != 0 || n.BudgetSeconds != 0 {
+		t.Fatalf("NaN not sanitized: %+v", n)
+	}
+	for _, bad := range []jobspec.Spec{
+		{App: "tc", Tenant: "no spaces"},
+		{App: "tc", Tenant: `evil"}`},
+		{App: "tc", DeadlineSeconds: -1},
+		{App: "tc", BudgetSeconds: math.Inf(1)},
+	} {
+		if err := bad.Normalize().Validate(); err == nil {
+			t.Errorf("spec %+v: expected validation error", bad)
+		}
+	}
+}
+
+// FuzzNormalizeStable asserts Normalize is idempotent and deterministic
+// over arbitrary field values — the contract that makes the normalized
+// spec a safe cache key.
+func FuzzNormalizeStable(f *testing.F) {
+	f.Add("tc", int32(7), "", 0.6, 4, 0, int64(0), "default", 1, 0.0, 0.0)
+	f.Add(" GM ", int32(-3), "0,1;-1,0", math.NaN(), -1, 5, int64(9), "  alice ", 999, -4.5, math.Inf(1))
+	f.Add("", int32(0), "x", -0.0, 0, -2, int64(-1), "", -7, math.NaN(), 1e300)
+	f.Fuzz(func(t *testing.T, app string, labels int32, pattern string,
+		minsim float64, minsize, split int, seed int64,
+		tenant string, priority int, deadline, budget float64) {
+		s := jobspec.Spec{
+			App: app, Labels: labels, Pattern: pattern, MinSim: minsim,
+			MinSize: minsize, Split: split, Seed: seed,
+			Tenant: tenant, Priority: priority,
+			DeadlineSeconds: deadline, BudgetSeconds: budget,
+		}
+		n1 := s.Normalize()
+		n2 := n1.Normalize()
+		if n1 != n2 {
+			t.Fatalf("Normalize not idempotent:\nonce:  %+v\ntwice: %+v", n1, n2)
+		}
+		if again := s.Normalize(); again != n1 {
+			t.Fatalf("Normalize not deterministic:\nfirst:  %+v\nsecond: %+v", n1, again)
+		}
+		if k1, k2 := s.CacheKey(), n1.CacheKey(); k1 != k2 {
+			t.Fatalf("CacheKey differs before/after Normalize:\n%s\n%s", k1, k2)
+		}
+		if n1.Priority < 1 || n1.Priority > jobspec.MaxPriority {
+			t.Fatalf("normalized priority out of range: %d", n1.Priority)
+		}
+		if n1.Tenant == "" {
+			t.Fatal("normalized tenant empty")
+		}
+		if math.IsNaN(n1.MinSim) || math.IsNaN(n1.DeadlineSeconds) || math.IsNaN(n1.BudgetSeconds) {
+			t.Fatalf("normalized spec carries NaN: %+v", n1)
+		}
+	})
+}

@@ -159,6 +159,11 @@ func (s Snapshot) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// CostSeconds is the snapshot's compute spend in the serving layer's cost
+// unit: busy computing-thread seconds. The QoS meter prices jobs in it,
+// budgets are expressed in it, and tenant spend ledgers sum it.
+func (s Snapshot) CostSeconds() float64 { return s.Busy.Seconds() }
+
 // CPUUtil returns the average CPU utilization over elapsed wall time given
 // `threads` computing threads: busy / (elapsed × threads), clamped to [0,1].
 func (s Snapshot) CPUUtil(elapsed time.Duration, threads int) float64 {

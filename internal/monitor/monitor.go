@@ -195,6 +195,42 @@ func WriteProm(w io.Writer, jobs []JobSnapshots) {
 	}
 }
 
+// TenantStat is one tenant's QoS aggregate for the daemon's multi-tenant
+// /metrics exposition: admission-queue depth, queue-wait summary and
+// completed compute spend.
+type TenantStat struct {
+	Tenant string
+	// Queued is the tenant's current admission-queue depth.
+	Queued int
+	// WaitSumSeconds / WaitCount summarize the queue wait of every job of
+	// this tenant that has left the queue (dispatched, shed or cancelled).
+	WaitSumSeconds float64
+	WaitCount      int64
+	// SpendSeconds is the tenant's completed compute spend (busy
+	// thread-seconds summed over workers, over all its finished jobs).
+	SpendSeconds float64
+}
+
+// WriteTenantProm writes the per-tenant QoS families. Callers pass the
+// stats sorted by tenant so the exposition is deterministic.
+func WriteTenantProm(w io.Writer, stats []TenantStat) {
+	fmt.Fprintf(w, "# HELP gminer_jobs_queued Jobs waiting in the admission queue, per tenant.\n# TYPE gminer_jobs_queued gauge\n")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "gminer_jobs_queued{tenant=%q} %d\n", ts.Tenant, ts.Queued)
+	}
+	fmt.Fprintf(w, "# HELP gminer_job_queue_wait_seconds Time jobs spent in the admission queue before dispatch, shed or cancel.\n# TYPE gminer_job_queue_wait_seconds summary\n")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "gminer_job_queue_wait_seconds_sum{tenant=%q} %s\n", ts.Tenant,
+			strconv.FormatFloat(ts.WaitSumSeconds, 'g', -1, 64))
+		fmt.Fprintf(w, "gminer_job_queue_wait_seconds_count{tenant=%q} %d\n", ts.Tenant, ts.WaitCount)
+	}
+	fmt.Fprintf(w, "# HELP gminer_tenant_spend_seconds_total Completed compute spend per tenant (busy thread-seconds).\n# TYPE gminer_tenant_spend_seconds_total counter\n")
+	for _, ts := range stats {
+		fmt.Fprintf(w, "gminer_tenant_spend_seconds_total{tenant=%q} %s\n", ts.Tenant,
+			strconv.FormatFloat(ts.SpendSeconds, 'g', -1, 64))
+	}
+}
+
 // handleMetrics serves the Prometheus text exposition: per-worker counter
 // families from the progress table plus the tracer's latency histograms
 // and event counters when a tracer is attached.

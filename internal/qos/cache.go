@@ -1,0 +1,116 @@
+package qos
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheKey identifies one cacheable workload: the resident graph's
+// fingerprint plus the canonical form of the workload spec
+// (jobspec.Spec.CacheKey — QoS hints excluded, because tenant, priority
+// and deadlines change when a job runs, never what it computes).
+type CacheKey struct {
+	Fingerprint uint64
+	Spec        string
+}
+
+// CacheStats is the cache's counter snapshot.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// ResultCache is a bounded LRU of finished results. The value type is
+// generic so the package stays independent of the engine; the serving
+// layer stores *cluster.Result. Safe for concurrent use.
+type ResultCache[V any] struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[CacheKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry[V any] struct {
+	key CacheKey
+	val V
+}
+
+// NewResultCache returns an LRU holding at most capacity entries
+// (capacity < 1 is clamped to 1 — use a nil *ResultCache to disable
+// caching entirely; every method is nil-safe and a nil cache never hits).
+func NewResultCache[V any](capacity int) *ResultCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ResultCache[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[CacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached value for k and marks it most recently used.
+func (c *ResultCache[V]) Get(k CacheKey) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry[V]).val, true
+}
+
+// Put stores v under k, evicting the least recently used entry beyond
+// capacity. Re-putting an existing key replaces its value.
+func (c *ResultCache[V]) Put(k CacheKey, v V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry[V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry[V]{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
+	}
+}
+
+// Invalidate drops every entry. The serving layer calls it whenever the
+// resident graph changes (reload, mutation epoch) — the fingerprint in
+// the key already isolates graphs, so this is belt-and-braces plus
+// memory release.
+func (c *ResultCache[V]) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[CacheKey]*list.Element)
+}
+
+// Stats returns hit/miss counters and the current entry count.
+func (c *ResultCache[V]) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.items)}
+}

@@ -1,0 +1,135 @@
+package qos
+
+import (
+	"sort"
+	"sync"
+
+	"gminer/internal/trace"
+)
+
+// estimateAlpha is the EWMA smoothing factor for per-app cost estimates:
+// heavy enough that a regime change (graph reload, new pattern) re-prices
+// an app within a few jobs, light enough that one outlier does not.
+const estimateAlpha = 0.3
+
+// DefaultEstimate is the cost assumed for an app the meter has never seen
+// finish. Any positive constant works — until the first observation every
+// unseen app is priced equally, which degrades weighted-fair scheduling
+// to plain fair scheduling, never to starvation.
+const DefaultEstimate = 1.0
+
+// PhaseStat is the opMeter cell: how many times a pipeline phase ran for
+// one task type and how long it ran cumulatively.
+type PhaseStat struct {
+	Count   int64
+	Seconds float64
+}
+
+// appMeter accumulates one task type's (app's) cost profile.
+type appMeter struct {
+	jobs     int64
+	costSum  float64
+	estimate float64
+	phases   map[string]PhaseStat // "component/metric" → count + time
+}
+
+// Meter is the per-task-type cost meter and per-tenant spend ledger.
+// All methods are safe for concurrent use.
+type Meter struct {
+	mu      sync.Mutex
+	apps    map[string]*appMeter
+	tenants map[string]float64 // completed compute-seconds per tenant
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{apps: make(map[string]*appMeter), tenants: make(map[string]float64)}
+}
+
+// ObserveJob folds one finished job into the meter: cost is the job's
+// total compute spend in seconds (busy thread time summed over workers),
+// phases the tracer's per-phase digest. The app's estimate moves by EWMA;
+// the tenant's spend grows by cost. Cancelled and preempted jobs should
+// be observed too — their partial spend is real spend.
+func (m *Meter) ObserveJob(app, tenant string, cost float64, phases []trace.PhaseSummary) {
+	if cost < 0 {
+		cost = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	am := m.apps[app]
+	if am == nil {
+		am = &appMeter{estimate: cost, phases: make(map[string]PhaseStat)}
+		m.apps[app] = am
+	} else {
+		am.estimate += estimateAlpha * (cost - am.estimate)
+	}
+	am.jobs++
+	am.costSum += cost
+	for _, p := range phases {
+		key := p.Component + "/" + p.Metric
+		ps := am.phases[key]
+		ps.Count += p.Count
+		ps.Seconds += p.Total.Seconds()
+		am.phases[key] = ps
+	}
+	m.tenants[tenant] += cost
+}
+
+// Estimate prices one job of the given app in compute-seconds. Unseen
+// apps cost DefaultEstimate.
+func (m *Meter) Estimate(app string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if am := m.apps[app]; am != nil {
+		if am.estimate > 0 {
+			return am.estimate
+		}
+	}
+	return DefaultEstimate
+}
+
+// TenantSpend returns one tenant's completed compute spend in seconds.
+func (m *Meter) TenantSpend(tenant string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenants[tenant]
+}
+
+// AppCost is one task type's metered profile.
+type AppCost struct {
+	App      string
+	Jobs     int64
+	CostSum  float64
+	Estimate float64
+	Phases   map[string]PhaseStat
+}
+
+// TenantSpendEntry is one tenant's ledger row.
+type TenantSpendEntry struct {
+	Tenant string
+	Spend  float64
+}
+
+// Snapshot returns the meter's state sorted by app and tenant name, for
+// the Prometheus exposition and tests.
+func (m *Meter) Snapshot() (apps []AppCost, tenants []TenantSpendEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, am := range m.apps {
+		phases := make(map[string]PhaseStat, len(am.phases))
+		for k, v := range am.phases {
+			phases[k] = v
+		}
+		apps = append(apps, AppCost{
+			App: name, Jobs: am.jobs, CostSum: am.costSum,
+			Estimate: am.estimate, Phases: phases,
+		})
+	}
+	for name, spend := range m.tenants {
+		tenants = append(tenants, TenantSpendEntry{Tenant: name, Spend: spend})
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].App < apps[j].App })
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Tenant < tenants[j].Tenant })
+	return apps, tenants
+}

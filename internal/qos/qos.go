@@ -1,0 +1,57 @@
+// Package qos is the serving-grade quality-of-service layer of the job
+// server: it decides what a job costs, whose job runs next, and whether
+// a job needs to run at all.
+//
+// Three cooperating pieces, deliberately engine-owned (the Khuzdul
+// argument: scheduling policy belongs in a layer the engine controls,
+// not in per-application code):
+//
+//   - Meter: an opMeter-style per-task-type cost meter. Every finished
+//     job feeds it the per-phase counts and cumulative exec times the
+//     tracer already collects (trace.PhaseSummary), plus its total
+//     compute cost; the meter keeps an EWMA cost estimate per app and a
+//     running spend per tenant. Estimates price queued work before it
+//     runs; spend is what dashboards bill tenants by.
+//
+//   - FairQueue: a weighted-fair admission queue across tenants using
+//     virtual-time scheduling (start-time fair queueing). Each dequeue
+//     charges the winning tenant estimatedCost/weight of virtual time,
+//     so a hog tenant's backlog cannot starve a light tenant: the light
+//     tenant's virtual clock lags and it wins the next slot. Within a
+//     tenant, jobs with deadlines dispatch earliest-deadline-first ahead
+//     of deadline-less FIFO work. Under pressure the queue sheds the
+//     cheapest-to-recompute entry first — dropping cheap work loses the
+//     least, because the client can resubmit it for almost nothing.
+//
+//   - ResultCache: an LRU of finished results keyed by (resident-graph
+//     fingerprint, normalized workload spec). Identical repeat queries
+//     — the common shape of production read traffic — are answered in
+//     O(1), byte-identical to the computed result, without touching the
+//     cluster.
+//
+// The package has no dependency on the cluster engine: costs are plain
+// float64 compute-seconds, queue entries are IDs plus hints, and the
+// cache is generic over its value type. The serving layer
+// (internal/server) owns the wiring: it feeds the meter from job
+// results, prices queue entries with meter estimates, and preempts
+// over-budget jobs at round boundaries through the engine's cooperative
+// cancel path.
+package qos
+
+import "errors"
+
+// Sentinel causes for QoS-initiated job terminations. The serving layer
+// wraps these into the engine's cancellation error so the API can report
+// a distinct terminal status ("preempted", "shed") instead of a generic
+// "cancelled".
+var (
+	// ErrOverBudget marks a job preempted at a round boundary because its
+	// measured compute spend exceeded its budget hint.
+	ErrOverBudget = errors.New("qos: job exceeded its compute budget")
+	// ErrDeadline marks a job stopped (or never started) because its
+	// deadline hint expired.
+	ErrDeadline = errors.New("qos: job deadline expired")
+	// ErrShed marks queued work dropped by load shedding to admit other
+	// work under queue pressure.
+	ErrShed = errors.New("qos: job shed under queue pressure")
+)

@@ -1,0 +1,319 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gminer/internal/trace"
+)
+
+func TestMeterEstimateAndSpend(t *testing.T) {
+	m := NewMeter()
+	if got := m.Estimate("tc"); got != DefaultEstimate {
+		t.Fatalf("unseen app estimate: got %g want %g", got, DefaultEstimate)
+	}
+	m.ObserveJob("tc", "alice", 2.0, nil)
+	if got := m.Estimate("tc"); got != 2.0 {
+		t.Fatalf("first observation must seed the estimate: got %g", got)
+	}
+	m.ObserveJob("tc", "alice", 4.0, nil)
+	want := 2.0 + estimateAlpha*(4.0-2.0)
+	if got := m.Estimate("tc"); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EWMA estimate: got %g want %g", got, want)
+	}
+	m.ObserveJob("mcf", "bob", 10.0, nil)
+	if got := m.TenantSpend("alice"); got != 6.0 {
+		t.Fatalf("alice spend: got %g want 6", got)
+	}
+	if got := m.TenantSpend("bob"); got != 10.0 {
+		t.Fatalf("bob spend: got %g want 10", got)
+	}
+	if got := m.TenantSpend("nobody"); got != 0 {
+		t.Fatalf("unknown tenant spend: got %g want 0", got)
+	}
+}
+
+func TestMeterPhaseAccumulation(t *testing.T) {
+	m := NewMeter()
+	phases := []trace.PhaseSummary{
+		{Metric: "task_round", Component: "executor", Count: 100, Total: 2 * time.Second},
+		{Metric: "pull_rtt", Component: "retriever", Count: 40, Total: time.Second},
+	}
+	m.ObserveJob("gm", "t", 3.0, phases)
+	m.ObserveJob("gm", "t", 3.0, phases)
+	apps, tenants := m.Snapshot()
+	if len(apps) != 1 || apps[0].App != "gm" || apps[0].Jobs != 2 {
+		t.Fatalf("snapshot apps: %+v", apps)
+	}
+	ps := apps[0].Phases["executor/task_round"]
+	if ps.Count != 200 || math.Abs(ps.Seconds-4.0) > 1e-9 {
+		t.Fatalf("phase accumulation: %+v", ps)
+	}
+	if len(tenants) != 1 || tenants[0].Tenant != "t" || tenants[0].Spend != 6.0 {
+		t.Fatalf("snapshot tenants: %+v", tenants)
+	}
+}
+
+// TestFairQueueInterleavesTenants: a hog tenant with a deep backlog must
+// not starve a light tenant — after the hog's first dispatch, the light
+// tenant's entry goes next.
+func TestFairQueueInterleavesTenants(t *testing.T) {
+	q := NewFairQueue()
+	for i := 0; i < 4; i++ {
+		q.Push(Entry{ID: fmt.Sprintf("hog-%d", i), Tenant: "hog", Weight: 1, Cost: 1})
+	}
+	e, ok := q.Pop()
+	if !ok || e.ID != "hog-0" {
+		t.Fatalf("first pop: %+v", e)
+	}
+	q.Push(Entry{ID: "light-0", Tenant: "light", Weight: 1, Cost: 1})
+	var order []string
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, e.ID)
+	}
+	want := []string{"light-0", "hog-1", "hog-2", "hog-3"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order: got %v want %v", order, want)
+	}
+}
+
+// TestFairQueueWeights: a tenant with weight 2 gets twice the dispatch
+// share of a weight-1 tenant at equal cost.
+func TestFairQueueWeights(t *testing.T) {
+	q := NewFairQueue()
+	for i := 0; i < 6; i++ {
+		q.Push(Entry{ID: fmt.Sprintf("a-%d", i), Tenant: "a", Weight: 2, Cost: 1})
+		q.Push(Entry{ID: fmt.Sprintf("b-%d", i), Tenant: "b", Weight: 1, Cost: 1})
+	}
+	counts := map[string]int{}
+	for i := 0; i < 6; i++ {
+		e, _ := q.Pop()
+		counts[e.Tenant]++
+	}
+	// First 6 dispatches: a's virtual clock advances at half b's rate, so
+	// a gets 4 slots to b's 2.
+	if counts["a"] != 4 || counts["b"] != 2 {
+		t.Fatalf("weighted share over 6 dispatches: %v", counts)
+	}
+}
+
+// TestFairQueueDeterministic: same pushes, same pops — twice.
+func TestFairQueueDeterministic(t *testing.T) {
+	run := func() []string {
+		q := NewFairQueue()
+		for i := 0; i < 5; i++ {
+			q.Push(Entry{ID: fmt.Sprintf("x-%d", i), Tenant: "x", Weight: 1, Cost: 2})
+			q.Push(Entry{ID: fmt.Sprintf("y-%d", i), Tenant: "y", Weight: 3, Cost: 2})
+			q.Push(Entry{ID: fmt.Sprintf("z-%d", i), Tenant: "z", Weight: 2, Cost: 1})
+		}
+		var order []string
+		for {
+			e, ok := q.Pop()
+			if !ok {
+				return order
+			}
+			order = append(order, e.ID)
+		}
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("non-deterministic dispatch:\n%v\n%v", a, b)
+	}
+}
+
+func TestFairQueueDeadlineOrdering(t *testing.T) {
+	q := NewFairQueue()
+	base := time.Now()
+	q.Push(Entry{ID: "fifo-1", Tenant: "t", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "late", Tenant: "t", Weight: 1, Cost: 1, Deadline: base.Add(time.Hour)})
+	q.Push(Entry{ID: "soon", Tenant: "t", Weight: 1, Cost: 1, Deadline: base.Add(time.Minute)})
+	q.Push(Entry{ID: "fifo-2", Tenant: "t", Weight: 1, Cost: 1})
+	var order []string
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, e.ID)
+	}
+	want := []string{"soon", "late", "fifo-1", "fifo-2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("deadline ordering: got %v want %v", order, want)
+	}
+}
+
+func TestFairQueueRemoveAndPosition(t *testing.T) {
+	q := NewFairQueue()
+	q.Push(Entry{ID: "a", Tenant: "t", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "b", Tenant: "t", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "c", Tenant: "t", Weight: 1, Cost: 1})
+	if pos := q.Position("b"); pos != 2 {
+		t.Fatalf("position of b: got %d want 2", pos)
+	}
+	if !q.Remove("b") {
+		t.Fatal("remove b failed")
+	}
+	if q.Remove("b") {
+		t.Fatal("double remove must report false")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len after remove: %d", q.Len())
+	}
+	if pos := q.Position("c"); pos != 2 {
+		t.Fatalf("position of c after remove: got %d want 2", pos)
+	}
+	e, _ := q.Pop()
+	if e.ID != "a" {
+		t.Fatalf("pop after remove: %s", e.ID)
+	}
+}
+
+func TestFairQueueShedsCheapestFirst(t *testing.T) {
+	q := NewFairQueue()
+	q.Push(Entry{ID: "pricey", Tenant: "a", Weight: 1, Cost: 10})
+	q.Push(Entry{ID: "cheap-old", Tenant: "b", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "cheap-new", Tenant: "a", Weight: 1, Cost: 1})
+	if min, ok := q.MinCost(); !ok || min != 1 {
+		t.Fatalf("MinCost: %g %v", min, ok)
+	}
+	e, ok := q.Shed()
+	if !ok || e.ID != "cheap-new" { // equal cost: newest sheds first
+		t.Fatalf("first shed: %+v", e)
+	}
+	e, _ = q.Shed()
+	if e.ID != "cheap-old" {
+		t.Fatalf("second shed: %+v", e)
+	}
+	e, _ = q.Shed()
+	if e.ID != "pricey" {
+		t.Fatalf("third shed: %+v", e)
+	}
+	if _, ok := q.Shed(); ok {
+		t.Fatal("shed on empty queue must report false")
+	}
+}
+
+func TestFairQueuePerTenantAndClear(t *testing.T) {
+	q := NewFairQueue()
+	q.Push(Entry{ID: "a1", Tenant: "a", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "a2", Tenant: "a", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "b1", Tenant: "b", Weight: 1, Cost: 1})
+	per := q.PerTenant()
+	if per["a"] != 2 || per["b"] != 1 {
+		t.Fatalf("per tenant: %v", per)
+	}
+	cleared := q.Clear()
+	if len(cleared) != 3 || q.Len() != 0 {
+		t.Fatalf("clear: %d entries left %d", len(cleared), q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after clear must report false")
+	}
+}
+
+// TestFairQueueNoIdleCredit: a tenant that sat idle while others were
+// dispatched must rejoin at the current virtual time, not at its stale
+// clock — otherwise it would monopolize the next several slots.
+func TestFairQueueNoIdleCredit(t *testing.T) {
+	q := NewFairQueue()
+	// Tenant a runs up its clock.
+	for i := 0; i < 3; i++ {
+		q.Push(Entry{ID: fmt.Sprintf("a-%d", i), Tenant: "a", Weight: 1, Cost: 1})
+	}
+	for i := 0; i < 3; i++ {
+		q.Pop()
+	}
+	// b arrives fresh: it must NOT be entitled to 3 back-to-back slots
+	// against a's new work — only to alternation from now on.
+	q.Push(Entry{ID: "b-0", Tenant: "b", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "b-1", Tenant: "b", Weight: 1, Cost: 1})
+	q.Push(Entry{ID: "a-3", Tenant: "a", Weight: 1, Cost: 1})
+	e1, _ := q.Pop()
+	e2, _ := q.Pop()
+	if e1.Tenant == e2.Tenant {
+		t.Fatalf("expected alternation after idle rejoin, got %s then %s", e1.ID, e2.ID)
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := NewResultCache[string](2)
+	k := func(i int) CacheKey { return CacheKey{Fingerprint: 7, Spec: fmt.Sprintf("s%d", i)} }
+	c.Put(k(1), "one")
+	c.Put(k(2), "two")
+	if v, ok := c.Get(k(1)); !ok || v != "one" {
+		t.Fatalf("get 1: %q %v", v, ok)
+	}
+	c.Put(k(3), "three") // evicts 2 (LRU), not 1 (just touched)
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if v, ok := c.Get(k(1)); !ok || v != "one" {
+		t.Fatalf("entry 1 lost: %q %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Different fingerprint is a different key even with an equal spec.
+	if _, ok := c.Get(CacheKey{Fingerprint: 8, Spec: "s1"}); ok {
+		t.Fatal("fingerprint must partition the key space")
+	}
+	c.Invalidate()
+	if c.Stats().Entries != 0 {
+		t.Fatal("invalidate left entries behind")
+	}
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("get after invalidate must miss")
+	}
+}
+
+func TestResultCacheNilSafe(t *testing.T) {
+	var c *ResultCache[string]
+	c.Put(CacheKey{}, "x")
+	if _, ok := c.Get(CacheKey{}); ok {
+		t.Fatal("nil cache must never hit")
+	}
+	c.Invalidate()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil stats: %+v", st)
+	}
+}
+
+// TestQosRace exercises the meter, queue and cache concurrently for the
+// -race job.
+func TestQosRace(t *testing.T) {
+	m, q, c := NewMeter(), NewFairQueue(), NewResultCache[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%2)
+			for i := 0; i < 200; i++ {
+				m.ObserveJob("tc", tenant, 0.01, nil)
+				m.Estimate("tc")
+				q.Push(Entry{ID: fmt.Sprintf("%d-%d", g, i), Tenant: tenant, Weight: 1 + g, Cost: 1})
+				if i%3 == 0 {
+					q.Pop()
+				}
+				if i%5 == 0 {
+					q.Shed()
+				}
+				key := CacheKey{Fingerprint: uint64(i % 4), Spec: "s"}
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	m.Snapshot()
+	q.Clear()
+	c.Stats()
+}

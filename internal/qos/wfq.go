@@ -1,0 +1,267 @@
+package qos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one queued unit of admission work. Cost is the meter's
+// estimate at enqueue time (compute-seconds); Weight is the job's
+// priority (≥1, higher = larger share); a zero Deadline means none.
+type Entry struct {
+	ID       string
+	Tenant   string
+	Weight   int
+	Cost     float64
+	Deadline time.Time
+}
+
+// tenantQueue is one tenant's backlog plus its virtual clock.
+type tenantQueue struct {
+	vtime float64
+	seq   []uint64 // admission order, parallel to entries
+	queue []Entry
+}
+
+// FairQueue is a weighted-fair admission queue across tenants (start-time
+// fair queueing on virtual time). Pop picks the tenant with the smallest
+// virtual clock and charges it Cost/Weight, so tenants share dispatch
+// slots proportionally to their weights regardless of how deep any one
+// tenant's backlog is. Within a tenant, entries with deadlines dispatch
+// earliest-first ahead of deadline-less FIFO work. All methods are safe
+// for concurrent use; all tie-breaks are deterministic (tenant name,
+// then admission order).
+type FairQueue struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantQueue
+	vnow    float64 // virtual clock of the last dispatch
+	nextSeq uint64
+	size    int
+}
+
+// NewFairQueue returns an empty queue.
+func NewFairQueue() *FairQueue {
+	return &FairQueue{tenants: make(map[string]*tenantQueue)}
+}
+
+// Len returns the number of queued entries across all tenants.
+func (q *FairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Push enqueues one entry. A tenant going from idle to backlogged joins
+// at the current virtual time — idle periods never bank credit, which is
+// what keeps a returning tenant from monopolizing the next N slots.
+func (q *FairQueue) Push(e Entry) {
+	if e.Weight < 1 {
+		e.Weight = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenants[e.Tenant]
+	if t == nil {
+		t = &tenantQueue{vtime: q.vnow}
+		q.tenants[e.Tenant] = t
+	} else if len(t.queue) == 0 && t.vtime < q.vnow {
+		t.vtime = q.vnow
+	}
+	// Insertion sort by (deadline, admission order): deadline-carrying
+	// entries first, earliest first; within equal deadlines (incl. the
+	// deadline-less tail) strict FIFO.
+	seq := q.nextSeq
+	q.nextSeq++
+	pos := len(t.queue)
+	for i := range t.queue {
+		if entryBefore(e, seq, t.queue[i], t.seq[i]) {
+			pos = i
+			break
+		}
+	}
+	t.queue = append(t.queue, Entry{})
+	t.seq = append(t.seq, 0)
+	copy(t.queue[pos+1:], t.queue[pos:])
+	copy(t.seq[pos+1:], t.seq[pos:])
+	t.queue[pos] = e
+	t.seq[pos] = seq
+	q.size++
+}
+
+// entryBefore reports whether (a, aSeq) dispatches before (b, bSeq)
+// within one tenant's queue.
+func entryBefore(a Entry, aSeq uint64, b Entry, bSeq uint64) bool {
+	switch {
+	case a.Deadline.IsZero() != b.Deadline.IsZero():
+		return !a.Deadline.IsZero() // deadlines ahead of FIFO work
+	case !a.Deadline.IsZero() && !a.Deadline.Equal(b.Deadline):
+		return a.Deadline.Before(b.Deadline)
+	default:
+		return aSeq < bSeq
+	}
+}
+
+// Pop dequeues the next entry in weighted-fair order: the head of the
+// backlogged tenant with the smallest virtual clock (ties broken by
+// tenant name), charging that tenant Cost/Weight of virtual time.
+func (q *FairQueue) Pop() (Entry, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var names []string
+	for name, t := range q.tenants {
+		if len(t.queue) > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return Entry{}, false
+	}
+	sort.Strings(names)
+	best := names[0]
+	for _, name := range names[1:] {
+		if q.tenants[name].vtime < q.tenants[best].vtime {
+			best = name
+		}
+	}
+	t := q.tenants[best]
+	e := t.queue[0]
+	t.queue = t.queue[1:]
+	t.seq = t.seq[1:]
+	q.size--
+	q.vnow = t.vtime
+	t.vtime += e.Cost / float64(e.Weight)
+	if len(t.queue) == 0 {
+		// Keep the tenant's clock (it matters if it returns before vnow
+		// advances past it) but let an empty long-idle tenant be GC'd
+		// once the global clock has overtaken it.
+		if t.vtime <= q.vnow {
+			delete(q.tenants, best)
+		}
+	}
+	return e, true
+}
+
+// Remove deletes the entry with the given ID, wherever it is queued.
+// Returns false if no such entry exists. Removal frees the entry's queue
+// slot immediately — this is what lets a DELETE of a still-queued job
+// return capacity without waiting for the entry to reach the head.
+func (q *FairQueue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for name, t := range q.tenants {
+		for i := range t.queue {
+			if t.queue[i].ID == id {
+				q.deleteAt(name, t, i)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Shed removes and returns the cheapest-to-recompute queued entry (ties:
+// the most recently admitted goes first — it has waited the least).
+// Returns false on an empty queue.
+func (q *FairQueue) Shed() (Entry, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var (
+		bestName string
+		bestT    *tenantQueue
+		bestI    = -1
+	)
+	for _, name := range q.sortedTenantsLocked() {
+		t := q.tenants[name]
+		for i := range t.queue {
+			if bestI < 0 ||
+				t.queue[i].Cost < bestT.queue[bestI].Cost ||
+				(t.queue[i].Cost == bestT.queue[bestI].Cost && t.seq[i] > bestT.seq[bestI]) {
+				bestName, bestT, bestI = name, t, i
+			}
+		}
+	}
+	if bestI < 0 {
+		return Entry{}, false
+	}
+	e := bestT.queue[bestI]
+	q.deleteAt(bestName, bestT, bestI)
+	return e, true
+}
+
+// MinCost returns the smallest estimated cost among queued entries, or
+// false on an empty queue. Admission uses it to decide whether incoming
+// work is itself the cheapest (reject it) or something queued is (shed).
+func (q *FairQueue) MinCost() (float64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	found := false
+	min := 0.0
+	for _, t := range q.tenants {
+		for i := range t.queue {
+			if !found || t.queue[i].Cost < min {
+				min, found = t.queue[i].Cost, true
+			}
+		}
+	}
+	return min, found
+}
+
+// Position returns the 1-based position of the entry within its tenant's
+// dispatch order, or 0 if the ID is not queued.
+func (q *FairQueue) Position(id string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, t := range q.tenants {
+		for i := range t.queue {
+			if t.queue[i].ID == id {
+				return i + 1
+			}
+		}
+	}
+	return 0
+}
+
+// PerTenant returns the queued-entry count per tenant.
+func (q *FairQueue) PerTenant() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.tenants))
+	for name, t := range q.tenants {
+		if len(t.queue) > 0 {
+			out[name] = len(t.queue)
+		}
+	}
+	return out
+}
+
+// Clear empties the queue (drain path) and returns the removed entries.
+func (q *FairQueue) Clear() []Entry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Entry
+	for _, name := range q.sortedTenantsLocked() {
+		out = append(out, q.tenants[name].queue...)
+	}
+	q.tenants = make(map[string]*tenantQueue)
+	q.size = 0
+	return out
+}
+
+func (q *FairQueue) deleteAt(name string, t *tenantQueue, i int) {
+	t.queue = append(t.queue[:i], t.queue[i+1:]...)
+	t.seq = append(t.seq[:i], t.seq[i+1:]...)
+	q.size--
+	if len(t.queue) == 0 && t.vtime <= q.vnow {
+		delete(q.tenants, name)
+	}
+}
+
+func (q *FairQueue) sortedTenantsLocked() []string {
+	names := make([]string, 0, len(q.tenants))
+	for name := range q.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

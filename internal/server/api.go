@@ -71,12 +71,27 @@ func decodeJobRequest(body []byte) (JobRequest, error) {
 type JobStatus struct {
 	ID        string       `json:"id"`
 	App       string       `json:"app"`
-	State     string       `json:"state"` // queued | running | done | failed | cancelled
+	State     string       `json:"state"` // queued | running | done | failed | cancelled | preempted | shed
 	Error     string       `json:"error,omitempty"`
 	Submitted time.Time    `json:"submitted"`
 	Started   *time.Time   `json:"started,omitempty"`
 	Finished  *time.Time   `json:"finished,omitempty"`
 	Progress  *JobProgress `json:"progress,omitempty"`
+	// QoS view. Tenant and Priority echo the normalized hints. Cached
+	// marks a job answered from the result cache without computing.
+	// QueueWaitSeconds is the time spent in the admission queue — live and
+	// growing while queued, frozen at dispatch otherwise — and
+	// QueuePosition the 1-based place in the tenant's dispatch order (0
+	// once no longer queued). CostSeconds is the measured compute spend
+	// (terminal jobs); CostEstimateSeconds the meter's admission-time
+	// price.
+	Tenant              string  `json:"tenant,omitempty"`
+	Priority            int     `json:"priority,omitempty"`
+	Cached              bool    `json:"cached,omitempty"`
+	QueueWaitSeconds    float64 `json:"queue_wait_seconds"`
+	QueuePosition       int     `json:"queue_position,omitempty"`
+	CostSeconds         float64 `json:"cost_seconds,omitempty"`
+	CostEstimateSeconds float64 `json:"cost_estimate_seconds,omitempty"`
 	// Phases holds the job's pipeline latency percentiles (task rounds,
 	// pull RTTs, spills, migrations, checkpoints) — live while running,
 	// final once done.
@@ -102,6 +117,11 @@ type JobResult struct {
 	ElapsedSeconds float64  `json:"elapsed_seconds"`
 	EdgeCut        float64  `json:"edge_cut"`
 	TasksDone      int64    `json:"tasks_done"`
+	// Cached marks a result served from the result cache: the records are
+	// byte-identical to the original computation's, but this job burned no
+	// compute (CostSeconds 0).
+	Cached      bool    `json:"cached,omitempty"`
+	CostSeconds float64 `json:"cost_seconds,omitempty"`
 }
 
 type errorBody struct {

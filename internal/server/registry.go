@@ -4,21 +4,33 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gminer/internal/cluster"
 	"gminer/internal/jobspec"
+	"gminer/internal/qos"
 	"gminer/internal/trace"
 )
 
-// Job states. A job moves queued → running → {done, failed, cancelled};
-// a queued job may jump straight to cancelled.
+// Job states. A job moves queued → running → {done, failed, cancelled,
+// preempted}; a queued job may jump straight to cancelled (DELETE) or
+// shed (load shedding, expired deadline). A cache-served job is born done.
 const (
 	StateQueued    = "queued"
 	StateRunning   = "running"
 	StateDone      = "done"
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
+	// StatePreempted marks a job the QoS layer stopped at a round boundary
+	// because it ran past its compute budget or deadline. Distinct from
+	// cancelled so clients can tell "operator/user stopped it" from "it
+	// cost too much".
+	StatePreempted = "preempted"
+	// StateShed marks queued work the admission controller dropped —
+	// cheapest-to-recompute first — to absorb queue pressure, or whose
+	// deadline expired before a slot freed.
+	StateShed = "shed"
 )
 
 // Admission and lookup errors, mapped onto HTTP statuses by the handlers.
@@ -29,17 +41,27 @@ var (
 	ErrUnknownJob  = errors.New("server: no such job")                  // 404
 )
 
-// Config tunes the admission controller and job retention.
+// Config tunes the admission controller, QoS layer and job retention.
 type Config struct {
 	// MaxConcurrentJobs bounds how many jobs mine simultaneously on the
 	// warm cluster. Default 2.
 	MaxConcurrentJobs int
-	// MaxQueueDepth bounds the admission queue; a submit beyond it gets
-	// HTTP 429 with a Retry-After hint. Default 8.
+	// MaxQueueDepth bounds the admission queue. A submit beyond it either
+	// sheds the cheapest-to-recompute queued job to make room, or — when
+	// the incoming job is itself the cheapest — gets HTTP 429 with a
+	// Retry-After hint. Default 8.
 	MaxQueueDepth int
 	// DefaultMemBudgetBytes is the per-job memory budget applied when a
 	// request does not set its own. 0 means unlimited.
 	DefaultMemBudgetBytes int64
+	// DefaultBudgetSeconds is the per-job compute budget (busy
+	// thread-seconds summed over workers) applied when a request does not
+	// set budget_seconds. 0 means unlimited.
+	DefaultBudgetSeconds float64
+	// ResultCacheEntries bounds the serving result cache (finished record
+	// sets keyed by graph fingerprint + normalized spec). 0 means the
+	// default 256; negative disables caching.
+	ResultCacheEntries int
 	// RetryAfter is the hint returned with 429 responses. Default 1s.
 	RetryAfter time.Duration
 	// MaxRetainedJobs bounds how many finished jobs (and their result
@@ -79,35 +101,89 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	tracer    *trace.Tracer
-	cj        *cluster.Job    // non-nil once launched
-	result    *cluster.Result // non-nil once done
+	cj        *cluster.Job                // non-nil once launched (guarded by registry.mu)
+	cjAtomic  atomic.Pointer[cluster.Job] // same handle, for the lock-free round hook
+	result    *cluster.Result             // non-nil once done
+
+	// QoS bookkeeping. tenant and priority are the normalized hints;
+	// deadline/budget the effective limits (zero means none); estimate the
+	// meter's price at admission; queueWait the recorded time from submit
+	// to leaving the queue; costSeconds the measured compute spend once
+	// terminal; cached marks a job answered from the result cache.
+	tenant      string
+	priority    int
+	deadline    time.Time
+	budget      float64
+	estimate    float64
+	queueWait   time.Duration
+	costSeconds float64
+	cached      bool
 }
 
-// registry is the job table plus the admission controller: a bounded FIFO
-// queue feeding at most MaxConcurrentJobs session launches.
+// tenantWait accumulates one tenant's queue-wait observations for the
+// gminer_job_queue_wait_seconds summary.
+type tenantWait struct {
+	sum   float64
+	count int64
+}
+
+// registry is the job table plus the admission controller: a bounded
+// weighted-fair queue across tenants feeding at most MaxConcurrentJobs
+// session launches, a cost meter pricing admission, and a result cache
+// short-circuiting repeat queries.
 type registry struct {
 	sess *cluster.Session
 	cfg  Config
+
+	meter *qos.Meter
+	cache *qos.ResultCache[*cluster.Result] // nil when caching is disabled
+	fp    uint64                            // session fingerprint, the cache key prefix
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled whenever running drops or states settle
 	jobs     map[string]*job
 	order    []string // submission order, for List and retention eviction
-	queue    []*job
+	queue    *qos.FairQueue
+	waits    map[string]*tenantWait
 	running  int
 	seq      uint64
 	draining bool
 }
 
 func newRegistry(sess *cluster.Session, cfg Config) *registry {
-	r := &registry{sess: sess, cfg: cfg.defaults(), jobs: make(map[string]*job)}
+	r := &registry{
+		sess:  sess,
+		cfg:   cfg.defaults(),
+		meter: qos.NewMeter(),
+		fp:    sess.Fingerprint(),
+		jobs:  make(map[string]*job),
+		queue: qos.NewFairQueue(),
+		waits: make(map[string]*tenantWait),
+	}
+	if entries := cfg.ResultCacheEntries; entries >= 0 {
+		if entries == 0 {
+			entries = 256
+		}
+		r.cache = qos.NewResultCache[*cluster.Result](entries)
+	}
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
 
+// cacheKey is the identity of req's workload on the resident graph.
+func (r *registry) cacheKey(req JobRequest) qos.CacheKey {
+	return qos.CacheKey{Fingerprint: r.fp, Spec: req.Spec.CacheKey()}
+}
+
+// invalidateCache drops every cached result. Must be called whenever the
+// resident graph is replaced (the fingerprint in the key already isolates
+// graphs, but invalidating releases the dead entries' memory at once).
+func (r *registry) invalidateCache() { r.cache.Invalidate() }
+
 // submit admits one job request: validates the spec against the resident
-// graph, enqueues, and pumps the scheduler. The returned job is a
-// snapshot-safe pointer (fields guarded by r.mu).
+// graph, serves it from the result cache when possible, otherwise
+// enqueues into the weighted-fair queue and pumps the scheduler. The
+// returned job is a snapshot-safe pointer (fields guarded by r.mu).
 func (r *registry) submit(req JobRequest) (*job, error) {
 	// Validate buildability up front so a spec the resident graph cannot
 	// serve (e.g. gm on an unlabeled graph) fails the submit with 400
@@ -121,9 +197,6 @@ func (r *registry) submit(req JobRequest) (*job, error) {
 	if r.draining {
 		return nil, ErrDraining
 	}
-	if len(r.queue) >= r.cfg.MaxQueueDepth {
-		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, r.cfg.MaxQueueDepth)
-	}
 	id := req.ID
 	if id == "" {
 		for {
@@ -136,27 +209,113 @@ func (r *registry) submit(req JobRequest) (*job, error) {
 	} else if _, taken := r.jobs[id]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
-	j := &job{id: id, req: req, state: StateQueued, submitted: time.Now()}
+
+	now := time.Now()
+	j := &job{
+		id:        id,
+		req:       req,
+		submitted: now,
+		tenant:    req.Spec.Tenant,
+		priority:  req.Spec.Priority,
+	}
+	if req.Spec.DeadlineSeconds > 0 {
+		j.deadline = now.Add(time.Duration(req.Spec.DeadlineSeconds * float64(time.Second)))
+	}
+	j.budget = req.Spec.BudgetSeconds
+	if j.budget == 0 {
+		j.budget = r.cfg.DefaultBudgetSeconds
+	}
+
+	// Result cache: an identical workload already computed on this graph
+	// is served instantly — the job is born done and consumes no slot.
+	if res, ok := r.cache.Get(r.cacheKey(req)); ok {
+		j.state, j.result, j.cached = StateDone, res, true
+		j.started, j.finished = now, now
+		r.jobs[id] = j
+		r.order = append(r.order, id)
+		r.evictLocked()
+		return j, nil
+	}
+
+	// Admission control with load shedding. When the queue is full, the
+	// cheapest-to-recompute work loses: if something queued is strictly
+	// cheaper than the incoming job, shed it to make room; if the incoming
+	// job is itself cheapest (ties included), reject it with 429 — the
+	// client resubmits for almost nothing.
+	j.estimate = r.meter.Estimate(req.Spec.App)
+	if r.queue.Len() >= r.cfg.MaxQueueDepth {
+		minCost, ok := r.queue.MinCost()
+		if !ok || j.estimate <= minCost {
+			return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, r.cfg.MaxQueueDepth)
+		}
+		if e, ok := r.queue.Shed(); ok {
+			r.finishQueuedLocked(r.jobs[e.ID], StateShed, qos.ErrShed)
+		}
+	}
+	j.state = StateQueued
 	r.jobs[id] = j
 	r.order = append(r.order, id)
-	r.queue = append(r.queue, j)
+	r.queue.Push(qos.Entry{
+		ID:       id,
+		Tenant:   j.tenant,
+		Weight:   j.priority,
+		Cost:     j.estimate,
+		Deadline: j.deadline,
+	})
 	r.evictLocked()
 	r.pumpLocked()
 	return j, nil
 }
 
-// pumpLocked launches queued jobs while concurrency slots are free.
+// finishQueuedLocked moves a still-queued job (already removed from the
+// fair queue by the caller) to a terminal state, recording its queue wait.
 // Callers hold r.mu.
+func (r *registry) finishQueuedLocked(j *job, state string, cause error) {
+	if j == nil || j.state != StateQueued {
+		return
+	}
+	j.state, j.finished = state, time.Now()
+	j.err = fmt.Errorf("%w: %w", cluster.ErrCancelled, cause)
+	r.recordWaitLocked(j)
+	r.cond.Broadcast()
+}
+
+// recordWaitLocked folds a job's time-in-queue into its tenant's wait
+// summary the moment it leaves the queue (dispatch, shed or cancel).
+func (r *registry) recordWaitLocked(j *job) {
+	j.queueWait = time.Since(j.submitted)
+	tw := r.waits[j.tenant]
+	if tw == nil {
+		tw = &tenantWait{}
+		r.waits[j.tenant] = tw
+	}
+	tw.sum += j.queueWait.Seconds()
+	tw.count++
+}
+
+// pumpLocked launches jobs in weighted-fair order while concurrency slots
+// are free. Callers hold r.mu.
 func (r *registry) pumpLocked() {
-	for r.running < r.cfg.MaxConcurrentJobs && len(r.queue) > 0 && !r.draining {
-		j := r.queue[0]
-		r.queue = r.queue[1:]
-		if j.state != StateQueued { // cancelled while queued
+	for r.running < r.cfg.MaxConcurrentJobs && !r.draining {
+		e, ok := r.queue.Pop()
+		if !ok {
+			return
+		}
+		j := r.jobs[e.ID]
+		if j == nil || j.state != StateQueued {
+			continue
+		}
+		// A job whose deadline expired while it waited is shed here: there
+		// is no point paying its startup cost only to preempt it at the
+		// first round boundary.
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			r.finishQueuedLocked(j, StateShed, qos.ErrDeadline)
 			continue
 		}
 		a, err := jobspec.Build(r.sess.Graph(), j.req.Spec)
 		if err != nil {
 			j.state, j.err, j.finished = StateFailed, err, time.Now()
+			r.recordWaitLocked(j)
 			continue
 		}
 		budget := j.req.MemBudgetBytes
@@ -170,41 +329,103 @@ func (r *registry) pumpLocked() {
 			MemBudgetBytes: budget,
 			CheckpointEvery: time.Duration(
 				j.req.CheckpointEverySeconds * float64(time.Second)),
+			RoundHook: roundHook(j, j.budget, j.deadline),
 		}
 		cj, err := r.sess.Launch(a, opt)
 		if err != nil {
 			j.state, j.err, j.finished = StateFailed, err, time.Now()
+			r.recordWaitLocked(j)
 			continue
 		}
+		r.recordWaitLocked(j)
 		j.state, j.started, j.tracer, j.cj = StateRunning, time.Now(), tracer, cj
+		j.cjAtomic.Store(cj)
 		r.running++
 		go r.reap(j, cj)
 	}
 }
 
+// roundHook builds the QoS enforcement point for one job: called by the
+// job's master once per scheduling round, it preempts the job — always at
+// a round boundary, via the cooperative cancel path — when its measured
+// compute spend exceeds its budget or its deadline has passed. Budget and
+// deadline are captured by value (immutable after admission); the cluster
+// job handle is read from the registry entry, which pumpLocked stores
+// before any round can observe meaningful spend.
+func roundHook(j *job, budget float64, deadline time.Time) func(int64) {
+	if budget <= 0 && deadline.IsZero() {
+		return nil
+	}
+	return func(round int64) {
+		cj := j.cjAtomic.Load()
+		if cj == nil {
+			return // the window between Launch and pumpLocked storing cj
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			cj.CancelCause(qos.ErrDeadline)
+			return
+		}
+		if budget > 0 {
+			var cost float64
+			for _, snap := range cj.WorkerSnapshots() {
+				cost += snap.CostSeconds()
+			}
+			if cost > budget {
+				cj.CancelCause(qos.ErrOverBudget)
+			}
+		}
+	}
+}
+
 // reap waits out one launched job and folds its terminal state back into
-// the registry, freeing a concurrency slot.
+// the registry: meter the spend, cache a successful result, free the
+// concurrency slot.
 func (r *registry) reap(j *job, cj *cluster.Job) {
 	res, err := cj.Wait()
+	var cost float64
+	if res != nil {
+		for _, snap := range res.PerWorker {
+			cost += snap.CostSeconds()
+		}
+	}
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	j.result, j.err, j.finished = res, err, time.Now()
+	j.result, j.err, j.finished, j.costSeconds = res, err, time.Now(), cost
 	switch {
 	case err == nil:
 		j.state = StateDone
+		if res != nil {
+			r.cache.Put(r.cacheKey(j.req), res)
+		}
+	case errors.Is(err, qos.ErrOverBudget) || errors.Is(err, qos.ErrDeadline):
+		j.state = StatePreempted
 	case errors.Is(err, cluster.ErrCancelled):
 		j.state = StateCancelled
 	default:
 		j.state = StateFailed
 	}
+	// Cancelled and preempted jobs are metered too: their partial spend is
+	// real spend, and pricing an app by what its jobs actually burned —
+	// even truncated ones — keeps admission estimates honest.
+	r.meter.ObserveJob(j.req.Spec.App, j.tenant, cost, resPhases(res))
 	r.running--
 	r.pumpLocked()
 	r.cond.Broadcast()
 }
 
-// cancel requests cooperative cancellation. A queued job is dropped on
-// the spot; a running one drains asynchronously (its state settles when
-// the reaper returns). Terminal jobs are left untouched.
+func resPhases(res *cluster.Result) []trace.PhaseSummary {
+	if res == nil {
+		return nil
+	}
+	return res.Phases
+}
+
+// cancel requests cooperative cancellation. A queued job is removed from
+// the admission queue on the spot — its slot is reusable immediately, not
+// when the dead entry would have reached the head; a running one drains
+// asynchronously (its state settles when the reaper returns). Terminal
+// jobs are left untouched.
 func (r *registry) cancel(id string) (*job, error) {
 	r.mu.Lock()
 	j, ok := r.jobs[id]
@@ -215,7 +436,9 @@ func (r *registry) cancel(id string) (*job, error) {
 	var cj *cluster.Job
 	switch j.state {
 	case StateQueued:
+		r.queue.Remove(id)
 		j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
+		r.recordWaitLocked(j)
 		r.cond.Broadcast()
 	case StateRunning:
 		cj = j.cj
@@ -262,15 +485,25 @@ func (r *registry) evictLocked() {
 }
 
 func isTerminal(state string) bool {
-	return state == StateDone || state == StateFailed || state == StateCancelled
+	switch state {
+	case StateDone, StateFailed, StateCancelled, StatePreempted, StateShed:
+		return true
+	}
+	return false
 }
+
+// terminalStates lists every terminal state in exposition order.
+var terminalStates = []string{StateDone, StateFailed, StateCancelled, StatePreempted, StateShed}
 
 // counts returns (queued, running, per-terminal-state totals) for /metrics
 // and /healthz.
 func (r *registry) counts() (queued, running int, terminal map[string]int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	terminal = map[string]int{StateDone: 0, StateFailed: 0, StateCancelled: 0}
+	terminal = make(map[string]int, len(terminalStates))
+	for _, st := range terminalStates {
+		terminal[st] = 0
+	}
 	for _, j := range r.jobs {
 		switch {
 		case j.state == StateQueued:
@@ -284,6 +517,41 @@ func (r *registry) counts() (queued, running int, terminal map[string]int) {
 	return queued, running, terminal
 }
 
+// tenantStats snapshots the per-tenant QoS view (queue depth, wait
+// summary, completed spend) for the /metrics exposition.
+func (r *registry) tenantStats() map[string]*tenantStat {
+	out := make(map[string]*tenantStat)
+	at := func(tenant string) *tenantStat {
+		ts := out[tenant]
+		if ts == nil {
+			ts = &tenantStat{}
+			out[tenant] = ts
+		}
+		return ts
+	}
+	r.mu.Lock()
+	for tenant, n := range r.queue.PerTenant() {
+		at(tenant).queued = n
+	}
+	for tenant, tw := range r.waits {
+		ts := at(tenant)
+		ts.waitSum, ts.waitCount = tw.sum, tw.count
+	}
+	r.mu.Unlock()
+	_, tenants := r.meter.Snapshot()
+	for _, te := range tenants {
+		at(te.Tenant).spend = te.Spend
+	}
+	return out
+}
+
+type tenantStat struct {
+	queued    int
+	waitSum   float64
+	waitCount int64
+	spend     float64
+}
+
 // drain refuses new submissions, cancels everything still queued, then
 // waits up to timeout for running jobs to finish on their own (their
 // periodic checkpoints keep landing while they run out). Jobs still
@@ -291,12 +559,12 @@ func (r *registry) counts() (queued, running int, terminal map[string]int) {
 func (r *registry) drain(timeout time.Duration) {
 	r.mu.Lock()
 	r.draining = true
-	for _, j := range r.queue {
-		if j.state == StateQueued {
+	for _, e := range r.queue.Clear() {
+		if j := r.jobs[e.ID]; j != nil && j.state == StateQueued {
 			j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
+			r.recordWaitLocked(j)
 		}
 	}
-	r.queue = nil
 	r.mu.Unlock()
 
 	deadline := time.Now().Add(timeout)

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -78,6 +79,12 @@ func (s *Server) Addr() string {
 	}
 	return s.ln.Addr().String()
 }
+
+// InvalidateResultCache drops every cached result. Any future path that
+// replaces or mutates the resident graph must call it — the graph
+// fingerprint in the cache key already isolates graphs, so this is
+// correctness belt-and-braces plus immediate memory release.
+func (s *Server) InvalidateResultCache() { s.reg.invalidateCache() }
 
 // Shutdown is the graceful stop behind SIGINT/SIGTERM: refuse new jobs,
 // cancel the queue, give running jobs up to the drain timeout to finish
@@ -155,13 +162,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.reg.mu.Lock()
 	state, res, jerr := j.state, j.result, j.err
 	app, id := j.req.App, j.id
+	cached, cost := j.cached, j.costSeconds
 	s.reg.mu.Unlock()
 	switch state {
 	case StateQueued, StateRunning:
 		// Not done yet: 202 tells pollers to come back.
 		writeJSONCode(w, http.StatusAccepted, s.statusOf(j))
 		return
-	case StateFailed, StateCancelled:
+	case StateDone:
+	default: // failed, cancelled, preempted, shed
 		writeErr(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s: %v", id, state, jerr))
 		return
@@ -188,6 +197,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		ElapsedSeconds: res.Elapsed.Seconds(),
 		EdgeCut:        res.EdgeCut,
 		TasksDone:      res.Total.TasksDone,
+		Cached:         cached,
+		CostSeconds:    cost,
 	}
 	if res.AggGlobal != nil {
 		out.Aggregate = fmt.Sprintf("%v", res.AggGlobal)
@@ -246,25 +257,98 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.mu.Unlock()
 	monitor.WriteProm(w, labeled)
 
+	// Per-tenant QoS families: queue depth, wait summary, spend ledger.
+	byTenant := s.reg.tenantStats()
+	tenants := make([]string, 0, len(byTenant))
+	for tenant := range byTenant {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	stats := make([]monitor.TenantStat, 0, len(tenants))
+	for _, tenant := range tenants {
+		ts := byTenant[tenant]
+		stats = append(stats, monitor.TenantStat{
+			Tenant:         tenant,
+			Queued:         ts.queued,
+			WaitSumSeconds: ts.waitSum,
+			WaitCount:      ts.waitCount,
+			SpendSeconds:   ts.spend,
+		})
+	}
+	monitor.WriteTenantProm(w, stats)
+
+	// Per-app cost meter: EWMA price estimates plus the opMeter phase
+	// table (count + cumulative seconds per pipeline phase per task type).
+	apps, _ := s.reg.meter.Snapshot()
+	fmt.Fprintf(w, "# HELP gminer_app_cost_estimate_seconds EWMA compute-cost estimate per task type, used to price admission.\n# TYPE gminer_app_cost_estimate_seconds gauge\n")
+	for _, ac := range apps {
+		fmt.Fprintf(w, "gminer_app_cost_estimate_seconds{app=%q} %s\n", ac.App, promFloat(ac.Estimate))
+	}
+	fmt.Fprintf(w, "# HELP gminer_app_cost_seconds_total Metered compute spend per task type.\n# TYPE gminer_app_cost_seconds_total counter\n")
+	for _, ac := range apps {
+		fmt.Fprintf(w, "gminer_app_cost_seconds_total{app=%q} %s\n", ac.App, promFloat(ac.CostSum))
+	}
+	fmt.Fprintf(w, "# HELP gminer_app_jobs_total Metered finished jobs per task type.\n# TYPE gminer_app_jobs_total counter\n")
+	for _, ac := range apps {
+		fmt.Fprintf(w, "gminer_app_jobs_total{app=%q} %d\n", ac.App, ac.Jobs)
+	}
+	fmt.Fprintf(w, "# HELP gminer_app_phase_seconds_total Cumulative pipeline-phase time per task type.\n# TYPE gminer_app_phase_seconds_total counter\n")
+	for _, ac := range apps {
+		for _, phase := range sortedKeys(ac.Phases) {
+			fmt.Fprintf(w, "gminer_app_phase_seconds_total{app=%q,phase=%q} %s\n",
+				ac.App, phase, promFloat(ac.Phases[phase].Seconds))
+		}
+	}
+
+	// Result cache.
+	cs := s.reg.cache.Stats()
+	fmt.Fprintf(w, "# HELP gminer_result_cache_hits_total Jobs answered from the result cache.\n# TYPE gminer_result_cache_hits_total counter\ngminer_result_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP gminer_result_cache_misses_total Submits that had to compute.\n# TYPE gminer_result_cache_misses_total counter\ngminer_result_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP gminer_result_cache_entries Result-cache entries resident.\n# TYPE gminer_result_cache_entries gauge\ngminer_result_cache_entries %d\n", cs.Entries)
+
 	queued, running, terminal := s.reg.counts()
 	fmt.Fprintf(w, "# HELP gminer_jobs_active Jobs currently mining on the warm cluster.\n# TYPE gminer_jobs_active gauge\ngminer_jobs_active %d\n", running)
-	fmt.Fprintf(w, "# HELP gminer_jobs_queued Jobs waiting in the admission queue.\n# TYPE gminer_jobs_queued gauge\ngminer_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "# HELP gminer_jobs_queued_total Jobs waiting in the admission queue across all tenants.\n# TYPE gminer_jobs_queued_total gauge\ngminer_jobs_queued_total %d\n", queued)
 	fmt.Fprintf(w, "# HELP gminer_jobs_finished_total Retained jobs by terminal state.\n# TYPE gminer_jobs_finished_total counter\n")
-	for _, st := range []string{StateDone, StateFailed, StateCancelled} {
+	for _, st := range terminalStates {
 		fmt.Fprintf(w, "gminer_jobs_finished_total{state=%q} %d\n", st, terminal[st])
 	}
 	fmt.Fprintf(w, "# HELP gminer_uptime_seconds Time since the daemon started.\n# TYPE gminer_uptime_seconds gauge\ngminer_uptime_seconds %s\n",
-		strconv.FormatFloat(time.Since(s.start).Seconds(), 'g', -1, 64))
+		promFloat(time.Since(s.start).Seconds()))
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // statusOf snapshots one job into its API document.
 func (s *Server) statusOf(j *job) JobStatus {
 	s.reg.mu.Lock()
 	st := JobStatus{
-		ID:        j.id,
-		App:       j.req.App,
-		State:     j.state,
-		Submitted: j.submitted,
+		ID:                  j.id,
+		App:                 j.req.App,
+		State:               j.state,
+		Submitted:           j.submitted,
+		Tenant:              j.tenant,
+		Priority:            j.priority,
+		Cached:              j.cached,
+		CostSeconds:         j.costSeconds,
+		CostEstimateSeconds: j.estimate,
+	}
+	if j.state == StateQueued {
+		// Live view: the wait grows until dispatch, and the position is
+		// the job's place in its tenant's dispatch order.
+		st.QueueWaitSeconds = time.Since(j.submitted).Seconds()
+		st.QueuePosition = s.reg.queue.Position(j.id)
+	} else {
+		st.QueueWaitSeconds = j.queueWait.Seconds()
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -5,12 +5,20 @@
 # jobs (tc, gm, cd), and requires every served result to be byte-identical
 # to the single-shot CLI run of the same spec on the same dataset. A
 # fourth job is cancelled mid-flight and must drain without disturbing the
-# daemon (healthz stays ok, gminer_jobs_active returns to 0). Finally the
-# daemon is SIGTERMed and must release its port for an immediate rebind.
+# daemon (healthz stays ok, gminer_jobs_active returns to 0). A repeat of
+# the tc spec must then be answered from the result cache: instantly done,
+# marked cached, byte-identical records. Finally the daemon is SIGTERMed
+# and must release its port for an immediate rebind, on which a
+# single-slot daemon proves weighted-fair scheduling: a second tenant's
+# job overtakes a hog tenant's backlog instead of starving behind it.
 set -euo pipefail
 
 PRESET="${PRESET:-dblp-s}"
 SCALE="${SCALE:-0.5}"
+# The fairness daemon mines a larger graph so each mcf job runs ~1s —
+# long enough for the hog's backlog to be observably queued while the
+# light tenant's job overtakes it.
+FAIR_SCALE="${FAIR_SCALE:-16}"
 PORT="${PORT:-17077}"
 ADDR="127.0.0.1:${PORT}"
 WORKERS=3
@@ -68,7 +76,7 @@ await() {
   local id=$1 deadline=$((SECONDS + 120))
   while [ "$SECONDS" -lt "$deadline" ]; do
     state="$(curl -sf "http://$ADDR/jobs/$id" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
-    case "$state" in done|failed|cancelled) echo "$state"; return 0 ;; esac
+    case "$state" in done|failed|cancelled|preempted|shed) echo "$state"; return 0 ;; esac
     sleep 0.1
   done
   echo "timeout"; return 1
@@ -100,6 +108,20 @@ for app in tc gm; do
     || { echo "job $app aggregate: served '$served' != single-shot '$ref'"; exit 1; }
 done
 
+echo "== repeat query served from the result cache"
+repeat="$(curl -sf -X POST "http://$ADDR/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"app":"tc","id":"tc-again","tenant":"cachetest"}')"
+echo "$repeat" | grep -q '"state":"done"' \
+  || { echo "repeat tc job not instantly done: $repeat"; exit 1; }
+echo "$repeat" | grep -q '"cached":true' \
+  || { echo "repeat tc job not marked cached: $repeat"; exit 1; }
+curl -sf "http://$ADDR/jobs/tc-again/result?format=text" > "$DIR/tc.cached.txt"
+diff "$DIR/tc.ref.txt" "$DIR/tc.cached.txt" \
+  || { echo "cached tc records diverge from the original run"; exit 1; }
+hits="$(curl -sf "http://$ADDR/metrics" | awk '/^gminer_result_cache_hits_total /{print $2}')"
+[ "${hits:-0}" -ge 1 ] || { echo "gminer_result_cache_hits_total=$hits, want >=1"; exit 1; }
+
 echo "== daemon healthy, cancelled job fully drained"
 curl -sf "http://$ADDR/healthz" | grep -q '"status":"ok"' \
   || { echo "daemon unhealthy after cancel"; exit 1; }
@@ -113,8 +135,8 @@ grep -q "shutdown complete" "$DIR/daemon.log" \
   || { echo "daemon did not shut down gracefully"; cat "$DIR/daemon.log"; exit 1; }
 DAEMON_PID=""
 
-"$DIR/gminerd" -preset "$PRESET" -scale "$SCALE" \
-  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" \
+"$DIR/gminerd" -preset "$PRESET" -scale "$FAIR_SCALE" \
+  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" -max-jobs 1 \
   > "$DIR/daemon2.log" 2>&1 &
 DAEMON_PID=$!
 for _ in $(seq 1 100); do
@@ -123,6 +145,36 @@ for _ in $(seq 1 100); do
 done
 curl -sf "http://$ADDR/healthz" >/dev/null \
   || { echo "restart on the same port failed"; cat "$DIR/daemon2.log"; exit 1; }
+
+echo "== weighted-fair scheduling: light tenant overtakes the hog's backlog"
+# The hog grabs the single slot and queues a 3-deep backlog of slow jobs;
+# the light tenant then submits one job. Freeing the slot must dispatch
+# the light tenant's job next (its virtual clock lags the hog's), so when
+# it completes, the tail of the hog's backlog is still queued — FIFO would
+# have run the whole backlog first.
+curl -sf -X POST "http://$ADDR/jobs" -H 'Content-Type: application/json' \
+  -d '{"app":"mcf","id":"hog-slot","tenant":"hog"}' >/dev/null
+for i in 1 2 3; do
+  curl -sf -X POST "http://$ADDR/jobs" -H 'Content-Type: application/json' \
+    -d "{\"app\":\"mcf\",\"id\":\"hog-$i\",\"tenant\":\"hog\"}" >/dev/null
+done
+curl -sf -X POST "http://$ADDR/jobs" -H 'Content-Type: application/json' \
+  -d '{"app":"tc","id":"light-1","tenant":"light"}' >/dev/null
+queued_hog="$(curl -sf "http://$ADDR/metrics" \
+  | awk '/^gminer_jobs_queued\{tenant="hog"\} /{print $2}')"
+[ "${queued_hog:-0}" = 3 ] \
+  || { echo "gminer_jobs_queued{tenant=\"hog\"}=$queued_hog, want 3"; exit 1; }
+curl -sf -X DELETE "http://$ADDR/jobs/hog-slot" >/dev/null
+lstate="$(await light-1)"
+[ "$lstate" = done ] || { echo "light-1 ended $lstate"; cat "$DIR/daemon2.log"; exit 1; }
+h3state="$(curl -sf "http://$ADDR/jobs/hog-3" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+[ "$h3state" = queued ] \
+  || { echo "hog-3 is $h3state when light-1 finished: light tenant did not overtake"; exit 1; }
+echo "light-1 done while hog backlog tail still queued"
+for i in 1 2 3; do
+  curl -sf -X DELETE "http://$ADDR/jobs/hog-$i" >/dev/null 2>&1 || true
+done
+
 kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
 
 echo "server smoke: OK"

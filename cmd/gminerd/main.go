@@ -50,6 +50,11 @@ func main() {
 
 		labels = flag.Int("labels", 7, "label alphabet assigned at startup when the graph is unlabeled (gm/fsm jobs)")
 
+		clusterListen = flag.String("cluster-listen", "", "run as multi-process coordinator: TCP address worker processes dial (empty = single-process mode)")
+		clusterAdv    = flag.String("cluster-advertise", "", "address advertised to worker processes (default: the bound cluster-listen address)")
+		joinTimeout   = flag.Duration("join-timeout", 60*time.Second, "coordinator mode: how long to wait for all worker processes to join before serving")
+		failTimeout   = flag.Duration("fail-timeout", 2*time.Second, "coordinator mode: silence after which a worker process is considered lost")
+
 		addr         = flag.String("addr", "127.0.0.1:7077", "HTTP listen address")
 		maxJobs      = flag.Int("max-jobs", 2, "maximum concurrently mining jobs")
 		queueDepth   = flag.Int("queue-depth", 8, "admission queue depth (beyond it, submissions get 429 or shed queued work)")
@@ -97,9 +102,35 @@ func main() {
 	}
 
 	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
-	sess, err := cluster.NewSession(g, ccfg)
-	if err != nil {
-		fatal(err)
+	var sess server.Cluster
+	if *clusterListen != "" {
+		// Multi-process coordinator: the engine's workers live in separate
+		// gminer-worker processes dialing in over TCP. Block serving until
+		// every slot has joined — a job launched into a half-formed cluster
+		// would only stall against the failure detector.
+		rs, err := cluster.NewRemoteSession(g, ccfg, cluster.RemoteSessionConfig{
+			Listen:      *clusterListen,
+			Advertise:   *clusterAdv,
+			FailTimeout: *failTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("cluster: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coordinator: listening on %s for %d worker processes (fingerprint %x)\n",
+			rs.Addr(), *workers, rs.Fingerprint())
+		if err := rs.WaitReady(*joinTimeout); err != nil {
+			fatal(err)
+		}
+		sess = rs
+	} else {
+		s, err := cluster.NewSession(g, ccfg)
+		if err != nil {
+			fatal(err)
+		}
+		sess = s
 	}
 	fmt.Printf("warm cluster: %d workers x %d threads, %s partitioning in %.3fs (edge cut %.1f%%)\n",
 		*workers, *threads, *part, sess.PartitionTime().Seconds(), 100*sess.EdgeCut())

@@ -245,6 +245,16 @@ func (s *snapshotSink) load(worker int, epoch int64) (*workerSnapshot, error) {
 	if worker < 0 || worker >= len(crcs) {
 		return nil, fmt.Errorf("checkpoint: no worker %d in epoch %d", worker, epoch)
 	}
+	return s.loadWith(worker, epoch, crcs[worker])
+}
+
+// loadWith reads one worker's snapshot for an epoch, verifying the frame
+// and the caller-supplied commit-time checksum instead of consulting a
+// local manifest. The multi-process restore path: only the coordinator
+// holds the MANIFEST, so a rejoining worker process is handed the
+// committed (epoch, crc) pairs over the control channel and verifies its
+// local file against them.
+func (s *snapshotSink) loadWith(worker int, epoch int64, wantCRC uint32) (*workerSnapshot, error) {
 	var payload []byte
 	var crc uint32
 	if s.mem != nil {
@@ -265,9 +275,9 @@ func (s *snapshotSink) load(worker int, epoch int64) (*workerSnapshot, error) {
 			return nil, err
 		}
 	}
-	if crc != crcs[worker] {
+	if crc != wantCRC {
 		return nil, fmt.Errorf("checkpoint: worker %d epoch %d checksum %08x does not match manifest %08x",
-			worker, epoch, crc, crcs[worker])
+			worker, epoch, crc, wantCRC)
 	}
 	snap, err := decodeSnapshot(payload)
 	if err != nil {

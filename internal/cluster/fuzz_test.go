@@ -116,3 +116,43 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(encodeHello(helloFrame{Version: handshakeVersion, Node: -1, Fingerprint: 42, Advertise: "127.0.0.1:7078"}))
+	f.Add(encodeHello(helloFrame{Version: handshakeVersion + 9, Node: 2, Fingerprint: 1, Advertise: "h:1"}))
+	f.Add([]byte("GMHS"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHello(data)
+		if err != nil {
+			return
+		}
+		if h.Version != handshakeVersion {
+			t.Fatalf("accepted hello with version %d", h.Version)
+		}
+		if len(h.Advertise) > maxHandshakeAddr {
+			t.Fatalf("accepted %d-byte advertise address", len(h.Advertise))
+		}
+	})
+}
+
+func FuzzDecodeWelcome(f *testing.F) {
+	f.Add(encodeWelcome(welcomeFrame{OK: true, Node: 1, Workers: 3, Peers: []string{"a:1", "", "c:3"}}))
+	f.Add(encodeWelcome(welcomeFrame{OK: false, Reason: "fingerprint mismatch"}))
+	f.Add([]byte("GMWL"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := decodeWelcome(data)
+		if err != nil {
+			return
+		}
+		if len(w.Peers) > maxHandshakePeers {
+			t.Fatalf("accepted %d-entry peer table", len(w.Peers))
+		}
+		for _, p := range w.Peers {
+			if len(p) > maxHandshakeAddr {
+				t.Fatalf("accepted %d-byte peer address", len(p))
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestHandshakeHelloRoundTrip(t *testing.T) {
+	in := helloFrame{
+		Version:     handshakeVersion,
+		Node:        -1,
+		Fingerprint: 0xdeadbeefcafe,
+		Advertise:   "127.0.0.1:41234",
+	}
+	out, err := decodeHello(encodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestHandshakeWelcomeRoundTrip(t *testing.T) {
+	in := welcomeFrame{
+		OK:      true,
+		Node:    2,
+		Workers: 3,
+		Peers:   []string{"127.0.0.1:1", "", "127.0.0.1:3", "127.0.0.1:4"},
+	}
+	out, err := decodeWelcome(encodeWelcome(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK != in.OK || out.Node != in.Node || out.Workers != in.Workers ||
+		len(out.Peers) != len(in.Peers) {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+	for i := range in.Peers {
+		if out.Peers[i] != in.Peers[i] {
+			t.Fatalf("peer %d: got %q want %q", i, out.Peers[i], in.Peers[i])
+		}
+	}
+
+	rej := welcomeFrame{OK: false, Reason: "fingerprint mismatch"}
+	out, err = decodeWelcome(encodeWelcome(rej))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK || out.Reason != rej.Reason {
+		t.Fatalf("rejection round trip: %+v", out)
+	}
+}
+
+// Every malformed hello must be rejected with an error, never a panic or
+// a silently-wrong frame.
+func TestDecodeHelloRejects(t *testing.T) {
+	good := helloFrame{
+		Version:     handshakeVersion,
+		Node:        1,
+		Fingerprint: 42,
+		Advertise:   "127.0.0.1:9",
+	}
+	goodBytes := encodeHello(good)
+
+	versionSkew := encodeHello(helloFrame{Version: handshakeVersion + 1, Node: 1, Fingerprint: 42, Advertise: "a:1"})
+
+	cases := []struct {
+		name        string
+		data        []byte
+		wantVersion bool // error must unwrap to errVersionMismatch
+	}{
+		{name: "empty", data: nil},
+		{name: "bad magic", data: []byte("XXXX\x01\x02")},
+		{name: "magic only", data: []byte("GMHS")},
+		{name: "truncated after version", data: goodBytes[:5]},
+		{name: "truncated mid-address", data: goodBytes[:len(goodBytes)-3]},
+		{name: "trailing garbage", data: append(append([]byte{}, goodBytes...), 0xAA)},
+		{name: "version mismatch", data: versionSkew, wantVersion: true},
+		{
+			name: "huge address length prefix",
+			// magic + version + node + fingerprint + a string length the
+			// payload cannot possibly satisfy.
+			data: append(goodBytes[:7], 0xff, 0xff, 0xff, 0xff, 0x0f),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeHello(tc.data)
+			if err == nil {
+				t.Fatalf("decodeHello(%q) accepted a malformed frame", tc.data)
+			}
+			if tc.wantVersion != errors.Is(err, errVersionMismatch) {
+				t.Fatalf("error %v: errVersionMismatch=%v, want %v", err, !tc.wantVersion, tc.wantVersion)
+			}
+		})
+	}
+}
+
+func TestDecodeWelcomeRejects(t *testing.T) {
+	good := encodeWelcome(welcomeFrame{OK: true, Node: 0, Workers: 3, Peers: []string{"a:1", "b:2"}})
+	// A well-formed frame whose version uvarint (the byte after the magic)
+	// is bumped: everything decodes, then the version gate must fire.
+	versionSkew := append([]byte{}, good...)
+	versionSkew[len(welcomeMagic)] = handshakeVersion + 1
+	cases := []struct {
+		name        string
+		data        []byte
+		wantVersion bool
+	}{
+		{name: "empty", data: nil},
+		{name: "bad magic", data: []byte("NOPE")},
+		{name: "truncated", data: good[:6]},
+		{name: "truncated peer table", data: good[:len(good)-2]},
+		{name: "trailing garbage", data: append(append([]byte{}, good...), 1)},
+		{name: "huge peer count", data: append(good[:5], 0x01, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeWelcome(tc.data)
+			if err == nil {
+				t.Fatalf("decodeWelcome(%q) accepted a malformed frame", tc.data)
+			}
+			if tc.wantVersion != errors.Is(err, errVersionMismatch) {
+				t.Fatalf("error %v: errVersionMismatch mismatch", err)
+			}
+		})
+	}
+	if _, err := decodeWelcome(versionSkew); !errors.Is(err, errVersionMismatch) {
+		t.Fatalf("version-skewed welcome: %v", err)
+	}
+}
+
+// The coordinator's admission gates: a decodable hello can still be
+// refused for a fingerprint or slot mismatch.
+func TestValidateHello(t *testing.T) {
+	const fp = uint64(0x1234)
+	base := helloFrame{Version: handshakeVersion, Node: -1, Fingerprint: fp, Advertise: "h:1"}
+
+	if err := validateHello(base, fp, 3); err != nil {
+		t.Fatalf("matching hello refused: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(h *helloFrame)
+		wantSub string
+	}{
+		{"fingerprint mismatch", func(h *helloFrame) { h.Fingerprint = fp + 1 }, "fingerprint"},
+		{"slot out of range", func(h *helloFrame) { h.Node = 3 }, "claimed node"},
+		{"no advertise addr", func(h *helloFrame) { h.Advertise = "" }, "advertise"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := base
+			tc.mutate(&h)
+			err := validateHello(h, fp, 3)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -82,6 +82,11 @@ type Job struct {
 	counters []*metrics.Counters // one per node (workers + master)
 	sampler  *metrics.Sampler
 
+	// remote is set when the job's workers live in other processes
+	// (RemoteSession): no local Worker structs exist and the final records
+	// arrive over the control channel instead of takeResults.
+	remote *remoteJobState
+
 	partitionTime time.Duration
 	started       time.Time
 	failures      chan int
@@ -108,6 +113,75 @@ type launchEnv struct {
 	endpoints     []transport.Endpoint
 	counters      []*metrics.Counters
 	release       func()
+	// remote, when non-nil, marks the workers as living in other
+	// processes: startWithEnv builds only the master and Wait collects
+	// worker results through this state instead of local Worker structs.
+	remote *remoteJobState
+}
+
+// remoteJobState gathers the per-worker results a multi-process job ships
+// over the control channel when each worker-process finishes the job.
+type remoteJobState struct {
+	timeout time.Duration
+
+	mu       sync.Mutex
+	records  map[int][]string
+	counters map[int]metrics.Snapshot
+	ckptErrs map[int]string
+	need     int
+	done     chan struct{}
+}
+
+func newRemoteJobState(workers int, timeout time.Duration) *remoteJobState {
+	return &remoteJobState{
+		timeout:  timeout,
+		records:  make(map[int][]string),
+		counters: make(map[int]metrics.Snapshot),
+		ckptErrs: make(map[int]string),
+		need:     workers,
+		done:     make(chan struct{}),
+	}
+}
+
+// deliver records one worker's shipped result. A replacement worker for
+// the same node supersedes an earlier delivery (the engine's termination
+// rule guarantees the final, complete instance reports last).
+func (r *remoteJobState) deliver(m *jobResultMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records[m.Worker] = m.Records
+	r.counters[m.Worker] = m.Counters
+	r.ckptErrs[m.Worker] = m.CkptErr
+	if len(r.records) == r.need {
+		select {
+		case <-r.done:
+		default:
+			close(r.done)
+		}
+	}
+}
+
+// await blocks until every worker delivered or the timeout passes. The
+// returned maps are safe to read: delivery is over once done is closed,
+// and on timeout the caller is failing the job anyway.
+func (r *remoteJobState) await() error {
+	select {
+	case <-r.done:
+		return nil
+	case <-time.After(r.timeout):
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	missing := make([]int, 0, r.need)
+	for i := 0; i < r.need; i++ {
+		if _, ok := r.records[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster: remote job: no result from workers %v within %s", missing, r.timeout)
 }
 
 // Start partitions the graph and launches the cluster. The graph must be
@@ -122,6 +196,15 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 		return nil, fmt.Errorf("cluster: graph must be frozen")
 	}
 	j := &Job{cfg: cfg, g: g, algo: algo, failures: make(chan int, cfg.Workers)}
+	if env != nil && env.remote != nil {
+		j.remote = env.remote
+		if cfg.Resume {
+			return nil, fmt.Errorf("cluster: remote jobs cannot resume at the coordinator (workers restore from their own checkpoints at rejoin)")
+		}
+		if cfg.Chaos != nil {
+			return nil, fmt.Errorf("cluster: remote jobs do not support chaos injection")
+		}
+	}
 
 	if env != nil && env.assign != nil {
 		j.assign = env.assign
@@ -227,9 +310,14 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 		j.master.epoch = resumeEpoch
 	}
 
-	if cfg.Resume {
+	switch {
+	case j.remote != nil:
+		// The workers are other processes: the coordinator runs only the
+		// master. They are told to start via the control channel after this
+		// returns; their early traffic queues in the mux mailboxes.
+	case cfg.Resume:
 		j.workers, err = j.restoreAllWorkers(endpoints)
-	} else {
+	default:
 		j.workers, err = j.freshWorkers(endpoints)
 	}
 	if err != nil {
@@ -246,7 +334,10 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 		w.start()
 	}
 	go j.master.run()
-	if cfg.FailTimeout > 0 {
+	if cfg.FailTimeout > 0 && j.remote == nil {
+		// In-process recovery respawns local Worker structs. A remote job
+		// has none: the master still detects the failure, and recovery is a
+		// replacement worker process rejoining through the coordinator.
 		j.autoRecover = true
 		go j.recoveryLoop()
 	}
@@ -377,6 +468,11 @@ func Run(g *graph.Graph, algo core.Algorithm, cfg Config) (*Result, error) {
 // lost) and it stops serving pull requests until recovered.
 func (j *Job) KillWorker(i int) {
 	j.workerMu.Lock()
+	if j.workers == nil {
+		// Remote job: kill the worker's process, not a local struct.
+		j.workerMu.Unlock()
+		return
+	}
 	w := j.workers[i]
 	j.workerMu.Unlock()
 	w.kill()
@@ -396,6 +492,9 @@ func (j *Job) KillWorker(i int) {
 // the node's endpoint is reset first: peers' cached connections die and
 // their send-retry redials reach the replacement.
 func (j *Job) RecoverWorker(i int) error {
+	if j.remote != nil {
+		return fmt.Errorf("cluster: remote job: recovery is a replacement worker process rejoining the coordinator")
+	}
 	var ep transport.Endpoint
 	if j.netLocal != nil {
 		ep = j.netLocal.Endpoint(i)
@@ -438,6 +537,14 @@ func (j *Job) RecoverWorker(i int) error {
 	return nil
 }
 
+// noteRecovered counts a worker recovery performed outside the job (a
+// replacement worker process re-admitted by the coordinator).
+func (j *Job) noteRecovered() {
+	j.workerMu.Lock()
+	j.recovered++
+	j.workerMu.Unlock()
+}
+
 // recoveryLoop respawns workers flagged dead by the master's failure
 // detector.
 func (j *Job) recoveryLoop() {
@@ -461,6 +568,16 @@ func (j *Job) Wait() (*Result, error) {
 	j.waitOnce.Do(func() {
 		<-j.master.doneCh
 		elapsed := time.Since(j.started)
+
+		// Remote job: the master has terminated (or been stopped), which
+		// broadcast msgStop to the worker processes; each ships its final
+		// records over the control channel. Collect them before tearing the
+		// mux channel down. The session's control loop keeps routing results
+		// to j.remote until release() runs below.
+		var remoteErr error
+		if j.remote != nil {
+			remoteErr = j.remote.await()
+		}
 
 		j.workerMu.Lock()
 		workers := append([]*Worker(nil), j.workers...)
@@ -501,17 +618,35 @@ func (j *Job) Wait() (*Result, error) {
 		if j.master.ckptErr != nil {
 			res.LastCheckpointErr = j.master.ckptErr
 		}
-		for _, w := range workers {
-			res.Records = append(res.Records, w.takeResults()...)
+		if j.remote != nil {
+			// Records, per-worker counters and checkpoint errors were
+			// shipped by the worker processes; the master's own counters are
+			// the coordinator's node K.
+			j.remote.mu.Lock()
+			for i := 0; i < j.cfg.Workers; i++ {
+				res.Records = append(res.Records, j.remote.records[i]...)
+				snap := j.remote.counters[i]
+				res.PerWorker = append(res.PerWorker, snap)
+				res.Total = res.Total.Add(snap)
+				if e := j.remote.ckptErrs[i]; e != "" {
+					res.LastCheckpointErr = errors.New(e)
+				}
+			}
+			j.remote.mu.Unlock()
+			res.Total = res.Total.Add(j.counters[j.cfg.Workers].Snapshot())
+		} else {
+			for _, w := range workers {
+				res.Records = append(res.Records, w.takeResults()...)
+			}
+			for i := 0; i <= j.cfg.Workers; i++ {
+				snap := j.counters[i].Snapshot()
+				if i < j.cfg.Workers {
+					res.PerWorker = append(res.PerWorker, snap)
+				}
+				res.Total = res.Total.Add(snap)
+			}
 		}
 		sort.Strings(res.Records)
-		for i := 0; i <= j.cfg.Workers; i++ {
-			snap := j.counters[i].Snapshot()
-			if i < j.cfg.Workers {
-				res.PerWorker = append(res.PerWorker, snap)
-			}
-			res.Total = res.Total.Add(snap)
-		}
 		if j.sampler != nil {
 			res.Timeline = j.sampler.Stop()
 		}
@@ -519,6 +654,9 @@ func (j *Job) Wait() (*Result, error) {
 		j.result = res
 		j.cancelMu.Lock()
 		j.err = j.cancelErr
+		if j.err == nil && remoteErr != nil {
+			j.err = remoteErr
+		}
 		j.cancelMu.Unlock()
 	})
 	return j.result, j.err

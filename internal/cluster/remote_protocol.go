@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gminer/internal/jobspec"
+	"gminer/internal/metrics"
+)
+
+// Control plane of the multi-process cluster. Mux channel 0 is reserved
+// for coordinator ↔ worker-process control traffic; job channels start at
+// 1 (both Session and RemoteSession allocate from 1). Control payloads
+// are JSON: they are tiny, infrequent (job start/stop, final results,
+// heartbeats) and evolve more often than the hot-path codecs, so
+// self-describing encoding beats hand-rolled wire here.
+//
+// Message types live in their own range (64+) so a control frame
+// misrouted onto a job channel can never be mistaken for an engine
+// message (those are 1..11).
+// ctrlChannel is the mux channel reserved for the control plane.
+const ctrlChannel uint64 = 0
+
+const (
+	// ctrlJobStart: coordinator → worker process. Open a job channel,
+	// build the engine worker (restoring from the named committed epochs
+	// if any), start mining.
+	ctrlJobStart uint8 = 64 + iota
+	// ctrlJobStop: coordinator → worker process. Tear the job channel
+	// down if it is still up (late or lost msgStop backstop).
+	ctrlJobStop
+	// ctrlJobResult: worker process → coordinator. The worker's final
+	// records and counter snapshot for one finished job.
+	ctrlJobResult
+	// ctrlTopology: coordinator → worker process. The current peer
+	// address table; re-broadcast on every join so live workers learn a
+	// replacement's address.
+	ctrlTopology
+	// ctrlHeartbeat: worker process → coordinator. Liveness for /healthz;
+	// the payload is empty (the frame's from-node identifies the sender).
+	ctrlHeartbeat
+)
+
+// resumeEpochRef names one committed epoch and the commit-time checksum
+// of ONE worker's snapshot in it. The coordinator (sole MANIFEST owner)
+// sends a rejoining worker its own column of the manifest, newest first.
+type resumeEpochRef struct {
+	Epoch int64  `json:"epoch"`
+	CRC   uint32 `json:"crc"`
+}
+
+// jobStartMsg is the ctrlJobStart payload.
+type jobStartMsg struct {
+	Channel uint64       `json:"channel"`
+	JobID   string       `json:"job_id"`
+	Spec    jobspec.Spec `json:"spec"`
+	// CheckpointEverySeconds carries the per-job checkpoint interval
+	// (0 = off).
+	CheckpointEverySeconds float64 `json:"checkpoint_every_seconds,omitempty"`
+	// Resume lists committed epochs (newest first) the worker should try
+	// restoring from; empty means start fresh.
+	Resume []resumeEpochRef `json:"resume,omitempty"`
+}
+
+// jobStopMsg is the ctrlJobStop payload.
+type jobStopMsg struct {
+	Channel uint64 `json:"channel"`
+}
+
+// jobResultMsg is the ctrlJobResult payload.
+type jobResultMsg struct {
+	Channel  uint64           `json:"channel"`
+	JobID    string           `json:"job_id"`
+	Worker   int              `json:"worker"`
+	Records  []string         `json:"records"`
+	Counters metrics.Snapshot `json:"counters"`
+	// CkptErr is the worker's last checkpoint persist failure ("" = none).
+	CkptErr string `json:"ckpt_err,omitempty"`
+}
+
+// topologyMsg is the ctrlTopology payload: dial addresses by node index
+// (workers 0..K-1, coordinator at K); "" = not yet joined.
+type topologyMsg struct {
+	Peers []string `json:"peers"`
+}
+
+func encodeCtrl(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All control structs marshal by construction.
+		panic(fmt.Sprintf("cluster: control encode: %v", err))
+	}
+	return b
+}
+
+func decodeCtrl(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("cluster: control decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,615 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gminer/internal/core"
+	"gminer/internal/graph"
+	"gminer/internal/jobspec"
+	"gminer/internal/metrics"
+	"gminer/internal/partition"
+	"gminer/internal/transport"
+)
+
+// RemoteSessionConfig configures the coordinator side of a multi-process
+// cluster.
+type RemoteSessionConfig struct {
+	// Listen is the coordinator's TCP listen address ("127.0.0.1:0" for an
+	// ephemeral port).
+	Listen string
+	// Advertise is the address worker processes are told to dial; defaults
+	// to the bound listen address.
+	Advertise string
+	// FailTimeout marks a worker process failed after this much silence
+	// during a job (the engine's failure detector). Default 2s.
+	FailTimeout time.Duration
+	// ResultTimeout bounds how long a finished job waits for every worker
+	// process to ship its final records. Default 60s.
+	ResultTimeout time.Duration
+	// Redial is the dial retry budget for coordinator → worker traffic.
+	// The zero value inherits the transport default (10s): long enough to
+	// bridge a worker-process restart.
+	Redial transport.RedialPolicy
+	// Logf, if non-nil, receives coordinator lifecycle lines (joins,
+	// losses, rejections).
+	Logf func(format string, args ...any)
+}
+
+func (c RemoteSessionConfig) withDefaults() RemoteSessionConfig {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 2 * time.Second
+	}
+	if c.ResultTimeout <= 0 {
+		c.ResultTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// WorkerStatus is one worker slot's view in the coordinator's registry,
+// exposed to the serving layer's health endpoint.
+type WorkerStatus struct {
+	Node     int       `json:"node"`
+	Joined   bool      `json:"joined"`
+	Addr     string    `json:"addr,omitempty"`
+	LastSeen time.Time `json:"-"`
+	// Generation counts how many times the slot was (re)claimed; >1 means
+	// a replacement process took over after a loss.
+	Generation int `json:"generation,omitempty"`
+}
+
+// workerSlot is the coordinator's registry entry for one worker node.
+type workerSlot struct {
+	addr       string
+	joined     bool
+	lastSeen   time.Time
+	generation int
+}
+
+// remoteJobMeta is what the coordinator must remember about a live job to
+// (re)start it on a worker process: the spec the worker rebuilds the
+// algorithm from, and the job whose sink manifest names the committed
+// epochs a rejoining worker may restore.
+type remoteJobMeta struct {
+	channel   uint64
+	id        string
+	spec      jobspec.Spec
+	ckptEvery time.Duration
+	job       *Job
+}
+
+// RemoteSession is the multi-process sibling of Session: the same
+// serve-many-jobs surface (Launch, ActiveJobs, Close, fingerprint, ...)
+// with the K engine workers living in other OS processes. The coordinator
+// owns admission (the join handshake), the job registry, the checkpoint
+// MANIFEST and every job's master; worker processes own the partition
+// tables, the task pipelines and the checkpoint payload files.
+//
+// Determinism is preserved across the process split: the partition
+// assignment is a pure function of (graph, workers, partitioner) computed
+// identically on every process, task IDs are worker-scoped, and the final
+// record set is sorted after the per-worker results are merged — so a
+// job's records are byte-identical to the same job on a single-process
+// Session.
+type RemoteSession struct {
+	g    *graph.Graph
+	cfg  Config
+	rcfg RemoteSessionConfig
+
+	assign        *partition.Assignment
+	partitionTime time.Duration
+	fingerprint   uint64
+
+	net *transport.RemoteNetwork
+	mux *transport.Mux
+	ctl transport.Endpoint
+
+	readyOnce sync.Once
+	readyCh   chan struct{}
+
+	mu      sync.Mutex
+	slots   []workerSlot
+	jobs    map[string]*Job
+	byCh    map[uint64]*remoteJobMeta
+	nextCh  uint64
+	closed  bool
+	ctlDone chan struct{}
+}
+
+// NewRemoteSession starts the coordinator: it partitions the graph (for
+// the fingerprint, edge-cut reporting and job masters), binds the cluster
+// listener and begins admitting worker processes. Jobs may be launched
+// immediately; their masters' traffic to not-yet-joined workers queues in
+// the transport until the worker dials in (WaitReady avoids that warm-up).
+func NewRemoteSession(g *graph.Graph, cfg Config, rcfg RemoteSessionConfig) (*RemoteSession, error) {
+	cfg = cfg.Defaults()
+	rcfg = rcfg.withDefaults()
+	if !g.Frozen() {
+		return nil, fmt.Errorf("cluster: session graph must be frozen")
+	}
+	if cfg.Chaos != nil {
+		return nil, fmt.Errorf("cluster: remote sessions do not support chaos injection")
+	}
+	if cfg.Resume {
+		return nil, fmt.Errorf("cluster: remote sessions cannot resume (workers restore at rejoin)")
+	}
+
+	s := &RemoteSession{
+		g:       g,
+		cfg:     cfg,
+		rcfg:    rcfg,
+		readyCh: make(chan struct{}),
+		slots:   make([]workerSlot, cfg.Workers),
+		jobs:    make(map[string]*Job),
+		byCh:    make(map[uint64]*remoteJobMeta),
+		ctlDone: make(chan struct{}),
+	}
+
+	pStart := time.Now()
+	assign, err := cfg.Partitioner.Partition(g, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: session partition: %w", err)
+	}
+	s.partitionTime = time.Since(pStart)
+	s.assign = assign
+	s.fingerprint = jobFingerprint(g, "session", cfg)
+
+	nodes := cfg.Workers + 1
+	s.net, err = transport.NewRemote(transport.RemoteConfig{
+		Nodes:     nodes,
+		Local:     cfg.Workers, // the coordinator holds the master slot K
+		Listen:    rcfg.Listen,
+		Advertise: rcfg.Advertise,
+		Redial:    rcfg.Redial,
+		Hello:     s.handleHello,
+	})
+	if err != nil {
+		return nil, err
+	}
+	under := make([]transport.Endpoint, nodes)
+	under[cfg.Workers] = s.net.Endpoint()
+	s.mux = transport.NewMuxPaused(under)
+	ctlEps, err := s.mux.Open(ctrlChannel, nil, nil)
+	if err != nil {
+		s.net.Close()
+		return nil, err
+	}
+	s.ctl = ctlEps[cfg.Workers]
+	s.mux.StartDemux()
+	go s.ctlLoop()
+	return s, nil
+}
+
+// handleHello is the admission gate, invoked by the transport for every
+// FrameHello received on an accepted connection. It decodes and validates
+// the worker's join request, assigns (or re-assigns) a node slot, installs
+// the peer address, rebroadcasts the topology, and re-starts every live
+// job on the joiner — the epoch-fallback rejoin path a replacement process
+// takes after a crash.
+func (s *RemoteSession) handleHello(payload []byte) []byte {
+	reject := func(reason string) []byte {
+		s.logf("join rejected: %s", reason)
+		return encodeWelcome(welcomeFrame{OK: false, Reason: reason})
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return reject(err.Error())
+	}
+	if err := validateHello(h, s.fingerprint, s.cfg.Workers); err != nil {
+		return reject(err.Error())
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return reject("cluster: coordinator shutting down")
+	}
+	slot := int(h.Node)
+	if slot < 0 {
+		slot = s.pickSlotLocked()
+	}
+	if slot < 0 {
+		s.mu.Unlock()
+		return reject(fmt.Sprintf("cluster: all %d worker slots joined and live", s.cfg.Workers))
+	}
+	st := &s.slots[slot]
+	rejoin := st.generation > 0
+	st.addr = h.Advertise
+	st.joined = true
+	st.lastSeen = time.Now()
+	st.generation++
+	generation := st.generation
+	s.net.SetPeer(slot, h.Advertise)
+
+	peers := s.peerTableLocked()
+	allJoined := true
+	for i := range s.slots {
+		if !s.slots[i].joined {
+			allJoined = false
+			break
+		}
+	}
+	// Snapshot the live jobs so the (re)start messages go out after the
+	// lock drops: encodeCtrl and manifest walks need no registry state.
+	restarts := make([]*remoteJobMeta, 0, len(s.byCh))
+	for _, meta := range s.byCh {
+		restarts = append(restarts, meta)
+	}
+	s.mu.Unlock()
+
+	s.logf("worker %d joined from %s (generation %d)", slot, h.Advertise, generation)
+	s.broadcastTopology(peers)
+	for _, meta := range restarts {
+		s.sendJobStart(slot, meta, true)
+		if rejoin {
+			meta.job.noteRecovered()
+		}
+	}
+	if allJoined {
+		s.readyOnce.Do(func() { close(s.readyCh) })
+	}
+	return encodeWelcome(welcomeFrame{
+		OK:      true,
+		Node:    int32(slot),
+		Workers: int32(s.cfg.Workers),
+		Peers:   peers,
+	})
+}
+
+// pickSlotLocked auto-assigns a slot: the first never/no-longer-joined
+// one, else the stalest joined slot whose silence exceeds the failure
+// timeout (its process is presumed dead), else -1. Caller holds s.mu.
+func (s *RemoteSession) pickSlotLocked() int {
+	for i := range s.slots {
+		if !s.slots[i].joined {
+			return i
+		}
+	}
+	stalest, age := -1, s.rcfg.FailTimeout
+	for i := range s.slots {
+		if since := time.Since(s.slots[i].lastSeen); since > age {
+			stalest, age = i, since
+		}
+	}
+	return stalest
+}
+
+// peerTableLocked builds the dial-address table: workers 0..K-1, the
+// coordinator at K. Caller holds s.mu.
+func (s *RemoteSession) peerTableLocked() []string {
+	peers := make([]string, s.cfg.Workers+1)
+	for i := range s.slots {
+		if s.slots[i].joined {
+			peers[i] = s.slots[i].addr
+		}
+	}
+	peers[s.cfg.Workers] = s.net.Addr()
+	return peers
+}
+
+// broadcastTopology tells every joined worker the current peer table, so
+// live workers learn a replacement's address and sever their stale
+// connections to the dead process.
+func (s *RemoteSession) broadcastTopology(peers []string) {
+	payload := encodeCtrl(topologyMsg{Peers: peers})
+	for i, addr := range peers[:s.cfg.Workers] {
+		if addr != "" {
+			_ = s.ctl.Send(i, ctrlTopology, payload)
+		}
+	}
+}
+
+// sendJobStart (re)starts one job on one worker process. With resume set,
+// the message carries the committed (epoch, crc) pairs for that worker
+// from the job's MANIFEST — the coordinator is its sole owner — newest
+// first, so the rejoining process restores the newest epoch whose local
+// snapshot file verifies and falls back across older commits.
+func (s *RemoteSession) sendJobStart(node int, meta *remoteJobMeta, resume bool) {
+	m := jobStartMsg{
+		Channel:                meta.channel,
+		JobID:                  meta.id,
+		Spec:                   meta.spec,
+		CheckpointEverySeconds: meta.ckptEvery.Seconds(),
+	}
+	if resume {
+		if man := meta.job.sink.manifestView(); man != nil {
+			for _, epoch := range man.epochs() {
+				crcs := man.crcsFor(epoch)
+				if node < len(crcs) {
+					m.Resume = append(m.Resume, resumeEpochRef{Epoch: epoch, CRC: crcs[node]})
+				}
+			}
+		}
+	}
+	_ = s.ctl.Send(node, ctrlJobStart, encodeCtrl(m))
+}
+
+// ctlLoop routes worker → coordinator control traffic: final job results
+// to the owning job's collector, heartbeats to the health registry.
+func (s *RemoteSession) ctlLoop() {
+	defer close(s.ctlDone)
+	for {
+		msg, ok := s.ctl.Recv()
+		if !ok {
+			return
+		}
+		switch msg.Type {
+		case ctrlJobResult:
+			var m jobResultMsg
+			if err := decodeCtrl(msg.Payload, &m); err != nil {
+				continue
+			}
+			s.mu.Lock()
+			meta := s.byCh[m.Channel]
+			s.mu.Unlock()
+			if meta != nil && meta.job.remote != nil {
+				meta.job.remote.deliver(&m)
+			}
+		case ctrlHeartbeat:
+			s.mu.Lock()
+			if msg.From >= 0 && msg.From < len(s.slots) {
+				s.slots[msg.From].lastSeen = time.Now()
+				// A heartbeat proves the process behind the slot's address is
+				// alive; re-mark a slot the failure detector gave up on.
+				s.slots[msg.From].joined = true
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// watchFailures marks worker slots the job's failure detector flagged as
+// lost, so /healthz degrades and the slot becomes claimable by an
+// auto-assigned replacement.
+func (s *RemoteSession) watchFailures(j *Job) {
+	for {
+		select {
+		case <-j.master.doneCh:
+			return
+		case i := <-j.failures:
+			s.mu.Lock()
+			if i >= 0 && i < len(s.slots) && time.Since(s.slots[i].lastSeen) > s.rcfg.FailTimeout {
+				s.slots[i].joined = false
+				s.mu.Unlock()
+				s.logf("worker %d lost (silent past %s); awaiting replacement", i, s.rcfg.FailTimeout)
+				continue
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// WaitReady blocks until every worker slot has joined (or the timeout
+// passes). Launching before ready works — early master traffic queues in
+// the transport — but a serving daemon should gate its HTTP listener on
+// readiness so the first job doesn't pay the join latency.
+func (s *RemoteSession) WaitReady(timeout time.Duration) error {
+	select {
+	case <-s.readyCh:
+		return nil
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	missing := make([]int, 0, len(s.slots))
+	for i := range s.slots {
+		if !s.slots[i].joined {
+			missing = append(missing, i)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster: workers %v have not joined within %s", missing, timeout)
+}
+
+// Ready reports whether every worker slot is currently joined.
+func (s *RemoteSession) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.slots {
+		if !s.slots[i].joined {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkerHealth returns the per-slot join/liveness view for /healthz.
+func (s *RemoteSession) WorkerHealth() []WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerStatus, len(s.slots))
+	for i := range s.slots {
+		out[i] = WorkerStatus{
+			Node:       i,
+			Joined:     s.slots[i].joined,
+			Addr:       s.slots[i].addr,
+			LastSeen:   s.slots[i].lastSeen,
+			Generation: s.slots[i].generation,
+		}
+	}
+	return out
+}
+
+// Launch starts one mining job across the worker processes and returns its
+// handle; the same contract as Session.Launch, plus the requirement that
+// opt.Spec names the workload (worker processes rebuild the algorithm from
+// the spec — a core.Algorithm value cannot cross a process boundary).
+func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
+	if opt.Spec == nil {
+		return nil, fmt.Errorf("cluster: remote launch requires JobOptions.Spec (worker processes rebuild the algorithm from it)")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: session closed")
+	}
+	s.nextCh++
+	ch := s.nextCh
+	id := opt.ID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", ch)
+	}
+	if _, live := s.jobs[id]; live {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: job id %q already running", id)
+	}
+	s.jobs[id] = nil
+	s.mu.Unlock()
+
+	cfg := s.cfg
+	cfg.JobID = id
+	cfg.Tracer = opt.Tracer
+	cfg.RoundHook = opt.RoundHook
+	cfg.FailTimeout = s.rcfg.FailTimeout
+	// opt.MemBudgetBytes is not enforced here: the budget is charged from
+	// worker progress loops, which live in other processes. The serving
+	// layer's admission costing still applies.
+	if opt.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opt.CheckpointEvery
+	}
+	if cfg.CheckpointDir != "" {
+		cfg.CheckpointDir = filepath.Join(cfg.CheckpointDir, id)
+	}
+
+	nodes := cfg.Workers + 1
+	counters := make([]*metrics.Counters, nodes)
+	for i := range counters {
+		counters[i] = &metrics.Counters{}
+	}
+	eps, err := s.mux.Open(ch, counters, cfg.Tracer)
+	if err != nil {
+		s.forget(id, ch)
+		return nil, err
+	}
+
+	env := &launchEnv{
+		assign:        s.assign,
+		partitionTime: s.partitionTime,
+		endpoints:     eps,
+		counters:      counters,
+		remote:        newRemoteJobState(cfg.Workers, s.rcfg.ResultTimeout),
+		release: func() {
+			// Backstop: workers normally stop on the master's msgStop
+			// broadcast; tell them explicitly too, in case the engine frame
+			// was dropped on a severed connection.
+			s.mu.Lock()
+			joined := make([]int, 0, cfg.Workers)
+			for i := range s.slots {
+				if s.slots[i].joined {
+					joined = append(joined, i)
+				}
+			}
+			s.mu.Unlock()
+			stop := encodeCtrl(jobStopMsg{Channel: ch})
+			for _, i := range joined {
+				_ = s.ctl.Send(i, ctrlJobStop, stop)
+			}
+			s.mux.CloseChannel(ch)
+			s.forget(id, ch)
+		},
+	}
+	j, err := startWithEnv(s.g, a, cfg, env)
+	if err != nil {
+		s.mux.CloseChannel(ch)
+		s.forget(id, ch)
+		return nil, err
+	}
+	meta := &remoteJobMeta{channel: ch, id: id, spec: *opt.Spec, ckptEvery: cfg.CheckpointEvery, job: j}
+
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.byCh[ch] = meta
+	joined := make([]int, 0, cfg.Workers)
+	for i := range s.slots {
+		if s.slots[i].joined {
+			joined = append(joined, i)
+		}
+	}
+	s.mu.Unlock()
+
+	go s.watchFailures(j)
+	for _, i := range joined {
+		s.sendJobStart(i, meta, false)
+	}
+	return j, nil
+}
+
+func (s *RemoteSession) forget(id string, ch uint64) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	delete(s.byCh, ch)
+	s.mu.Unlock()
+}
+
+// ActiveJobs returns the number of jobs launched and not yet torn down.
+func (s *RemoteSession) ActiveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Graph returns the resident graph.
+func (s *RemoteSession) Graph() *graph.Graph { return s.g }
+
+// Config returns the session's template config (with defaults applied).
+func (s *RemoteSession) Config() Config { return s.cfg }
+
+// PartitionTime is the coordinator's one-time static partitioning cost.
+func (s *RemoteSession) PartitionTime() time.Duration { return s.partitionTime }
+
+// EdgeCut is the partitioning edge-cut fraction of the resident assignment.
+func (s *RemoteSession) EdgeCut() float64 { return s.assign.EdgeCut(s.g) }
+
+// Fingerprint identifies the resident graph plus the session topology;
+// worker processes must present the same one to join.
+func (s *RemoteSession) Fingerprint() uint64 { return s.fingerprint }
+
+// Addr is the coordinator's cluster address (what workers dial to join).
+func (s *RemoteSession) Addr() string { return s.net.Addr() }
+
+// DroppedMessages counts stale mux traffic plus frames abandoned because a
+// worker process stayed unreachable past the redial budget.
+func (s *RemoteSession) DroppedMessages() int64 { return s.mux.Dropped() + s.net.Dropped() }
+
+// Close cancels any running jobs, waits for their teardown, and shuts the
+// cluster transport down. Worker processes see their connections die and
+// exit on their own schedule.
+func (s *RemoteSession) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j != nil {
+			live = append(live, j)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, j := range live {
+		j.Cancel()
+	}
+	for _, j := range live {
+		_, _ = j.Wait()
+	}
+	s.mux.Close()
+	s.net.Close()
+	s.mux.WaitDemux()
+	<-s.ctlDone
+}
+
+func (s *RemoteSession) logf(format string, args ...any) {
+	if s.rcfg.Logf != nil {
+		s.rcfg.Logf(format, args...)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"gminer/internal/core"
 	"gminer/internal/graph"
+	"gminer/internal/jobspec"
 	"gminer/internal/memctl"
 	"gminer/internal/metrics"
 	"gminer/internal/partition"
@@ -112,6 +113,11 @@ type JobOptions struct {
 	// enforcement point: budget and deadline checks run here so a job is
 	// only ever stopped at a round boundary.
 	RoundHook func(round int64)
+	// Spec is the job's normalized workload spec. A RemoteSession requires
+	// it — worker processes rebuild the algorithm from the spec, since
+	// core.Algorithm values cannot cross a process boundary. A local
+	// Session ignores it.
+	Spec *jobspec.Spec
 }
 
 // Launch starts one mining job on the warm cluster and returns its handle.

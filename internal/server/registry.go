@@ -132,7 +132,7 @@ type tenantWait struct {
 // session launches, a cost meter pricing admission, and a result cache
 // short-circuiting repeat queries.
 type registry struct {
-	sess *cluster.Session
+	sess Cluster
 	cfg  Config
 
 	meter *qos.Meter
@@ -150,7 +150,7 @@ type registry struct {
 	draining bool
 }
 
-func newRegistry(sess *cluster.Session, cfg Config) *registry {
+func newRegistry(sess Cluster, cfg Config) *registry {
 	r := &registry{
 		sess:  sess,
 		cfg:   cfg.defaults(),
@@ -323,8 +323,12 @@ func (r *registry) pumpLocked() {
 			budget = r.cfg.DefaultMemBudgetBytes
 		}
 		tracer := trace.New(r.sess.Config().Workers+1, 0).Enable()
+		// The spec rides along for multi-process clusters: worker processes
+		// rebuild the algorithm from it (an in-process Session ignores it).
+		sp := j.req.Spec
 		opt := cluster.JobOptions{
 			ID:             j.id,
+			Spec:           &sp,
 			Tracer:         tracer,
 			MemBudgetBytes: budget,
 			CheckpointEvery: time.Duration(

@@ -19,13 +19,40 @@ import (
 	"time"
 
 	"gminer/internal/cluster"
+	"gminer/internal/core"
+	"gminer/internal/graph"
 	"gminer/internal/metrics"
 	"gminer/internal/monitor"
 )
 
-// Server serves mining jobs over one warm cluster.Session.
+// Cluster is the warm-session surface the daemon serves over. Both the
+// in-process cluster.Session and the multi-process cluster.RemoteSession
+// satisfy it; the registry and handlers are agnostic to which one backs
+// them.
+type Cluster interface {
+	Launch(a core.Algorithm, opt cluster.JobOptions) (*cluster.Job, error)
+	Graph() *graph.Graph
+	Config() cluster.Config
+	PartitionTime() time.Duration
+	EdgeCut() float64
+	Fingerprint() uint64
+	ActiveJobs() int
+	DroppedMessages() int64
+	Close()
+}
+
+// WorkerHealthReporter is the optional multi-process extension of
+// Cluster: per-worker-process liveness for /healthz and /metrics. The
+// in-process Session does not implement it (its workers are goroutines —
+// alive iff the daemon is).
+type WorkerHealthReporter interface {
+	Ready() bool
+	WorkerHealth() []cluster.WorkerStatus
+}
+
+// Server serves mining jobs over one warm cluster session.
 type Server struct {
-	sess  *cluster.Session
+	sess  Cluster
 	reg   *registry
 	cfg   Config
 	start time.Time
@@ -37,7 +64,7 @@ type Server struct {
 // New builds a Server over an already-warm session. The caller keeps
 // ownership of the session's graph (it must be fully prepared — labels,
 // attributes — before any job runs; see jobspec.Prepare).
-func New(sess *cluster.Session, cfg Config) *Server {
+func New(sess Cluster, cfg Config) *Server {
 	return &Server{
 		sess:  sess,
 		reg:   newRegistry(sess, cfg),
@@ -220,18 +247,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.reg.mu.Lock()
 	draining := s.reg.draining
 	s.reg.mu.Unlock()
-	code := http.StatusOK
-	if draining {
-		code = http.StatusServiceUnavailable
-	}
-	writeJSONCode(w, code, map[string]any{
-		"status":   map[bool]string{false: "ok", true: "draining"}[draining],
+	status, code := "ok", http.StatusOK
+	doc := map[string]any{
 		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
 		"graph":    map[string]int{"vertices": s.sess.Graph().NumVertices()},
 		"queued":   queued,
 		"running":  running,
 		"sessions": 1,
-	})
+	}
+	if hr, ok := s.sess.(WorkerHealthReporter); ok {
+		// Multi-process mode: the daemon is degraded (still 503, like
+		// draining — load balancers should not route here) until every
+		// worker slot has a live process attached.
+		workers := hr.WorkerHealth()
+		ws := make([]map[string]any, len(workers))
+		allUp := true
+		for i, st := range workers {
+			ws[i] = map[string]any{
+				"node":       st.Node,
+				"joined":     st.Joined,
+				"addr":       st.Addr,
+				"generation": st.Generation,
+			}
+			if !st.Joined {
+				allUp = false
+			}
+		}
+		doc["workers"] = ws
+		if !allUp {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+	}
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	doc["status"] = status
+	writeJSONCode(w, code, doc)
 }
 
 // handleMetrics reuses the monitor package's Prometheus family table with
@@ -305,6 +356,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP gminer_result_cache_hits_total Jobs answered from the result cache.\n# TYPE gminer_result_cache_hits_total counter\ngminer_result_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "# HELP gminer_result_cache_misses_total Submits that had to compute.\n# TYPE gminer_result_cache_misses_total counter\ngminer_result_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "# HELP gminer_result_cache_entries Result-cache entries resident.\n# TYPE gminer_result_cache_entries gauge\ngminer_result_cache_entries %d\n", cs.Entries)
+
+	// Multi-process cluster membership.
+	if hr, ok := s.sess.(WorkerHealthReporter); ok {
+		workers := hr.WorkerHealth()
+		fmt.Fprintf(w, "# HELP gminer_cluster_workers Worker-process slots in the multi-process cluster.\n# TYPE gminer_cluster_workers gauge\ngminer_cluster_workers %d\n", len(workers))
+		fmt.Fprintf(w, "# HELP gminer_cluster_worker_up Whether a live worker process holds the slot (by node index).\n# TYPE gminer_cluster_worker_up gauge\n")
+		for _, st := range workers {
+			up := 0
+			if st.Joined {
+				up = 1
+			}
+			fmt.Fprintf(w, "gminer_cluster_worker_up{node=\"%d\"} %d\n", st.Node, up)
+		}
+	}
 
 	queued, running, terminal := s.reg.counts()
 	fmt.Fprintf(w, "# HELP gminer_jobs_active Jobs currently mining on the warm cluster.\n# TYPE gminer_jobs_active gauge\ngminer_jobs_active %d\n", running)

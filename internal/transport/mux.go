@@ -39,14 +39,35 @@ type muxChannel struct {
 }
 
 // NewMux wraps the underlying endpoints (one per node, workers + master)
-// and starts one demux goroutine per node.
+// and starts one demux goroutine per node. In a multi-process cluster
+// each process's mux holds only its OWN node's underlying endpoint; the
+// other entries are nil — no demux is spawned for them and sending
+// through their virtual endpoints errors.
 func NewMux(under []Endpoint) *Mux {
-	m := &Mux{under: under, channels: make(map[uint64]*muxChannel)}
-	m.wg.Add(len(under))
-	for node, ep := range under {
+	m := NewMuxPaused(under)
+	m.StartDemux()
+	return m
+}
+
+// NewMuxPaused builds the mux without starting its demux goroutines; call
+// StartDemux once the initial channels are open. A process joining a
+// cluster mid-job needs this: control messages may already be queued in
+// the underlying mailbox, and a demux racing the control channel's Open
+// would drop them as unknown-channel traffic.
+func NewMuxPaused(under []Endpoint) *Mux {
+	return &Mux{under: under, channels: make(map[uint64]*muxChannel)}
+}
+
+// StartDemux launches one demux goroutine per non-nil underlying endpoint.
+// Call exactly once on a paused mux.
+func (m *Mux) StartDemux() {
+	for node, ep := range m.under {
+		if ep == nil {
+			continue
+		}
+		m.wg.Add(1)
 		go m.demux(node, ep)
 	}
-	return m
 }
 
 // demux routes one node's incoming messages to the owning channel's
@@ -177,7 +198,11 @@ func (e *muxEndpoint) Send(to int, typ uint8, payload []byte) error {
 	if e.tracer.Enabled() {
 		e.tracer.Handle(e.node, trace.CompNet).Event(trace.EvNetSend, uint64(bytes))
 	}
-	return e.mux.under[e.node].Send(to, typ, buf)
+	und := e.mux.under[e.node]
+	if und == nil {
+		return fmt.Errorf("transport: mux node %d is remote (no local underlying endpoint)", e.node)
+	}
+	return und.Send(to, typ, buf)
 }
 
 func (e *muxEndpoint) Recv() (Message, bool) {

@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// reserveAddr grabs an ephemeral loopback port and releases it, returning
+// an address nothing is listening on (yet).
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// Regression for the redial budget: a single bounded redial (SetTimeouts)
+// cannot bridge a restarting worker process. Here the peer is unreachable
+// for 2s before it starts accepting; a sender with a redial budget must
+// still get the connection.
+func TestDialRetryWaitsForLateListener(t *testing.T) {
+	addr := reserveAddr(t)
+	go func() {
+		time.Sleep(2 * time.Second)
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer l.Close()
+		c, err := l.Accept()
+		if err == nil {
+			_ = c.Close()
+		}
+	}()
+	start := time.Now()
+	c, err := dialRetry(func() string { return addr }, time.Second,
+		RedialPolicy{Budget: 10 * time.Second, Base: 20 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatalf("dialRetry should outlast a 2s-unreachable peer: %v", err)
+	}
+	_ = c.Close()
+	if e := time.Since(start); e < 1500*time.Millisecond {
+		t.Fatalf("connected after %v; the listener only came up at 2s", e)
+	}
+}
+
+func TestDialRetryBudgetExhausted(t *testing.T) {
+	addr := reserveAddr(t)
+	start := time.Now()
+	_, err := dialRetry(func() string { return addr }, time.Second,
+		RedialPolicy{Budget: 200 * time.Millisecond, Base: 20 * time.Millisecond}, nil)
+	if err == nil {
+		t.Fatal("dial to a dead address must fail once the budget is spent")
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Fatalf("budget of 200ms took %v to give up", e)
+	}
+}
+
+func TestDialRetryZeroBudgetSingleAttempt(t *testing.T) {
+	addr := reserveAddr(t)
+	start := time.Now()
+	if _, err := dialRetry(func() string { return addr }, time.Second, RedialPolicy{}, nil); err == nil {
+		t.Fatal("zero policy must fail on the first refused dial")
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Fatalf("zero policy retried for %v; want a single attempt", e)
+	}
+}
+
+// The same regression at the RemoteNetwork layer: frames queued to a peer
+// whose process has not started yet must be delivered once it begins
+// accepting 2s later, in order.
+func TestRemoteDeliversAfterLateAccept(t *testing.T) {
+	peerAddr := reserveAddr(t)
+	a, err := NewRemote(RemoteConfig{
+		Nodes: 2, Local: 0, Listen: "127.0.0.1:0",
+		Redial: RedialPolicy{Budget: 10 * time.Second, Base: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetPeer(1, peerAddr)
+	for i := 0; i < 3; i++ {
+		if err := a.Endpoint().Send(1, 7, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	time.Sleep(2 * time.Second)
+	b, err := NewRemote(RemoteConfig{Nodes: 2, Local: 1, Listen: peerAddr})
+	if err != nil {
+		t.Fatalf("late listener: %v", err)
+	}
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		m, ok := b.Endpoint().RecvTimeout(10 * time.Second)
+		if !ok {
+			t.Fatalf("frame %d never arrived after the peer came up", i)
+		}
+		if m.From != 0 || m.Type != 7 || len(m.Payload) != 1 || m.Payload[0] != byte(i) {
+			t.Fatalf("frame %d: got from=%d type=%d payload=%v", i, m.From, m.Type, m.Payload)
+		}
+	}
+	if d := a.Dropped(); d != 0 {
+		t.Fatalf("sender dropped %d frames despite the budget", d)
+	}
+}
+
+func TestRemoteBidirectionalAndSelfSend(t *testing.T) {
+	a, err := NewRemote(RemoteConfig{Nodes: 2, Local: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewRemote(RemoteConfig{Nodes: 2, Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeer(1, b.Addr())
+	b.SetPeer(0, a.Addr())
+
+	if err := a.Endpoint().Send(1, 3, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := b.Endpoint().RecvTimeout(5 * time.Second)
+	if !ok || string(m.Payload) != "ping" || m.From != 0 {
+		t.Fatalf("b got %+v ok=%v", m, ok)
+	}
+	if err := b.Endpoint().Send(0, 4, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok = a.Endpoint().RecvTimeout(5 * time.Second)
+	if !ok || string(m.Payload) != "pong" || m.From != 1 {
+		t.Fatalf("a got %+v ok=%v", m, ok)
+	}
+
+	// Self-send loops back through the local inbox without a socket.
+	if err := a.Endpoint().Send(0, 5, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok = a.Endpoint().RecvTimeout(5 * time.Second)
+	if !ok || string(m.Payload) != "self" || m.From != 0 {
+		t.Fatalf("self-send got %+v ok=%v", m, ok)
+	}
+}
+
+func TestJoinClusterHelloWelcome(t *testing.T) {
+	coord, err := NewRemote(RemoteConfig{
+		Nodes: 2, Local: 1, Listen: "127.0.0.1:0",
+		Hello: func(payload []byte) []byte {
+			return append([]byte("welcome:"), payload...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	reply, err := JoinCluster(coord.Addr(), []byte("node-a"), 2*time.Second, RedialPolicy{Budget: 5 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "welcome:node-a" {
+		t.Fatalf("welcome payload %q", reply)
+	}
+}
+
+// JoinCluster must keep knocking while the coordinator is still starting.
+func TestJoinClusterRetriesUntilCoordinatorUp(t *testing.T) {
+	addr := reserveAddr(t)
+	go func() {
+		time.Sleep(1 * time.Second)
+		_, _ = NewRemote(RemoteConfig{
+			Nodes: 2, Local: 1, Listen: addr,
+			Hello: func(payload []byte) []byte { return []byte("ok") },
+		})
+	}()
+	reply, err := JoinCluster(addr, []byte("x"), 2*time.Second,
+		RedialPolicy{Budget: 10 * time.Second, Base: 20 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatalf("join should retry until the coordinator is up: %v", err)
+	}
+	if string(reply) != "ok" {
+		t.Fatalf("welcome payload %q", reply)
+	}
+}
+
+// A mux over a remote network has only its own node's underlying
+// endpoint; the other entries are nil and must neither demux nor send.
+func TestMuxNilUnderEntries(t *testing.T) {
+	a, err := NewRemote(RemoteConfig{Nodes: 2, Local: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRemote(RemoteConfig{Nodes: 2, Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeer(1, b.Addr())
+	b.SetPeer(0, a.Addr())
+
+	muxA := NewMux([]Endpoint{a.Endpoint(), nil})
+	muxB := NewMux([]Endpoint{nil, b.Endpoint()})
+	epsA, err := muxA.Open(9, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsB, err := muxB.Open(9, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := epsA[0].Send(1, 2, []byte("hi")); err != nil {
+		t.Fatalf("send via local node: %v", err)
+	}
+	m, ok := epsB[1].RecvTimeout(5 * time.Second)
+	if !ok || string(m.Payload) != "hi" {
+		t.Fatalf("muxed frame: %+v ok=%v", m, ok)
+	}
+	if err := epsA[1].Send(0, 2, nil); err == nil {
+		t.Fatal("send through a nil-under virtual endpoint must error")
+	}
+
+	muxA.Close()
+	muxB.Close()
+	a.Close()
+	b.Close()
+	muxA.WaitDemux()
+	muxB.WaitDemux()
+}
+
+func TestRemoteSetPeerRedirects(t *testing.T) {
+	a, err := NewRemote(RemoteConfig{Nodes: 2, Local: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	first, err := NewRemote(RemoteConfig{Nodes: 2, Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeer(1, first.Addr())
+	if err := a.Endpoint().Send(1, 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := first.Endpoint().RecvTimeout(5 * time.Second); !ok || string(m.Payload) != "one" {
+		t.Fatalf("first incarnation got %+v ok=%v", m, ok)
+	}
+	// The first incarnation dies; a replacement comes up elsewhere.
+	first.Close()
+	second, err := NewRemote(RemoteConfig{Nodes: 2, Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	a.SetPeer(1, second.Addr())
+	if err := a.Endpoint().Send(1, 1, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := second.Endpoint().RecvTimeout(5 * time.Second); !ok || string(m.Payload) != "two" {
+		t.Fatalf("replacement got %+v ok=%v", m, ok)
+	}
+}
+
+func TestTCPSetRedialBridgesGap(t *testing.T) {
+	// The TCP loopback network's listeners never go away, so exercise the
+	// shared dial path through a RemoteNetwork standing in for a TCP peer
+	// that is down: SetRedial on TCPNetwork shares dialRetry with it, and
+	// the policy plumbing is what this test pins down.
+	n, err := NewTCP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetRedial(RedialPolicy{Budget: 2 * time.Second, Base: 10 * time.Millisecond})
+	if err := n.Endpoint(0).Send(1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := n.Endpoint(1).RecvTimeout(5 * time.Second); !ok || string(m.Payload) != "x" {
+		t.Fatalf("got %+v ok=%v", m, ok)
+	}
+}
+
+func TestRemoteDropsAfterBudget(t *testing.T) {
+	dead := reserveAddr(t)
+	a, err := NewRemote(RemoteConfig{
+		Nodes: 2, Local: 0, Listen: "127.0.0.1:0",
+		Redial: RedialPolicy{Budget: 100 * time.Millisecond, Base: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetPeer(1, dead)
+	if err := a.Endpoint().Send(1, 1, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("frame to a dead peer was never dropped after the budget")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func ExampleRemoteNetwork() {
+	coord, _ := NewRemote(RemoteConfig{Nodes: 2, Local: 1, Listen: "127.0.0.1:0"})
+	worker, _ := NewRemote(RemoteConfig{Nodes: 2, Local: 0, Listen: "127.0.0.1:0"})
+	coord.SetPeer(0, worker.Addr())
+	worker.SetPeer(1, coord.Addr())
+	_ = worker.Endpoint().Send(1, 9, []byte("report"))
+	m, _ := coord.Endpoint().RecvTimeout(5 * time.Second)
+	fmt.Printf("%d -> %d: %s\n", m.From, m.To, m.Payload)
+	worker.Close()
+	coord.Close()
+	// Output: 0 -> 1: report
+}

@@ -29,6 +29,9 @@ type TCPNetwork struct {
 	// frame write so a wedged peer cannot block a sender forever.
 	dialTimeout time.Duration
 	sendTimeout time.Duration
+	// redial bounds how long a sender keeps re-attempting an unreachable
+	// peer (default: single attempt, the historical behaviour).
+	redial RedialPolicy
 
 	mu        sync.Mutex
 	addrs     []string
@@ -61,6 +64,7 @@ func NewTCP(nodes int, counters []*metrics.Counters) (*TCPNetwork, error) {
 			net: n, node: i, box: newMailbox(),
 			conns:    make(map[int]net.Conn),
 			accepted: make(map[net.Conn]struct{}),
+			stop:     make(chan struct{}),
 		}
 		n.endpoints[i] = ep
 		go ep.acceptLoop(l)
@@ -79,6 +83,15 @@ func (n *TCPNetwork) SetTimeouts(dial, send time.Duration) {
 	n.dialTimeout = dial
 	n.sendTimeout = send
 }
+
+// SetRedial gives senders a redial budget with backoff for unreachable
+// peers, instead of the default single dial attempt. SetTimeouts' one
+// bounded redial is enough for a peer whose listener never went away, but
+// a restarting worker process is gone for whole seconds — with a budget,
+// senders keep knocking until it is back. Call before the network is
+// shared. Note the retry holds the sending endpoint's lock, so other
+// sends from the same node queue behind it for up to the budget.
+func (n *TCPNetwork) SetRedial(p RedialPolicy) { n.redial = p }
 
 // Endpoint returns node i's endpoint.
 func (n *TCPNetwork) Endpoint(node int) Endpoint { return n.endpoints[node] }
@@ -113,6 +126,11 @@ func (n *TCPNetwork) Close() {
 type tcpEndpoint struct {
 	net  *TCPNetwork
 	node int
+
+	// stop aborts in-flight dial retries; closed (via stopOnce) before
+	// close() takes e.mu, because a retrying sender holds that lock.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	mu       sync.Mutex
 	box      *mailbox         // swapped by reset; access via mailbox()
@@ -226,7 +244,8 @@ func (e *tcpEndpoint) connLocked(to int) (net.Conn, error) {
 	if c, ok := e.conns[to]; ok {
 		return c, nil
 	}
-	c, err := net.DialTimeout("tcp", e.net.addrs[to], e.net.dialTimeout)
+	addr := e.net.addrs[to]
+	c, err := dialRetry(func() string { return addr }, e.net.dialTimeout, e.net.redial, e.stop)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
 	}
@@ -248,6 +267,7 @@ func (e *tcpEndpoint) Close() error {
 }
 
 func (e *tcpEndpoint) close() {
+	e.stopOnce.Do(func() { close(e.stop) })
 	e.mu.Lock()
 	e.closed = true
 	box := e.box

@@ -1,13 +1,19 @@
 // Command bench is the reproducible performance harness behind the
-// checked-in BENCH_PR3.json. It measures the three optimizations of the
-// sharded-cache PR with fixed seeds, so any two runs on the same machine
-// and profile are comparable:
+// checked-in BENCH_*.json reports. It measures with fixed seeds, so any
+// two runs on the same machine and profile are comparable:
 //
 //   - cache: RCV Acquire/Release throughput swept over shard counts and
 //     goroutine counts (the paper's single-lock cache is shards=1);
 //   - encode: allocations per operation for the pull-response, task-batch
 //     and pull-request wire encodes, fresh wire.Writer vs the pooled
 //     GetWriter/PutWriter path the runtime now uses;
+//   - kernels: intersection strategy sweep (merge vs gallop vs bitset vs
+//     the Choose-selected adaptive entry) across operand-size ratios, the
+//     selection thresholds DESIGN.md §12 documents;
+//   - plans: compiled execution plans (pattern-aware matching order +
+//     symmetry breaking + kernel intersections over the degree-ranked CSR)
+//     against the generic sequential exploration of the same workload,
+//     with the CSR build cost reported separately;
 //   - workloads: the triangle (TC), graph-match (GM) and community (CD)
 //     example workloads on seeded generated graphs, with per-phase
 //     p50/p95/p99 latencies from the trace subsystem, task throughput and
@@ -16,7 +22,7 @@
 //
 // Usage:
 //
-//	bench                            # small profile, seed 42, BENCH_PR3.json
+//	bench                            # small profile, seed 42, BENCH_PR8.json
 //	bench -profile ci -out bench.json
 //	bench -baseline BENCH_PR3.json -max-regress 0.20
 //
@@ -24,17 +30,22 @@
 // regresses by more than -max-regress versus the baseline file (the CI
 // bench job uses this against the checked-in BENCH_PR3.json). With -gate
 // (on by default) the run also exits non-zero if the pooled encode paths
-// do not show at least a 30% allocation reduction, or — on machines with
-// GOMAXPROCS >= 4, where lock contention is physically possible — if the
-// sharded cache does not reach 2x single-lock throughput at 8 goroutines.
+// do not show at least a 30% allocation reduction; if the compiled
+// triangle plan does not reach 2x the generic exploration's throughput
+// (single-threaded on both sides, so this gate applies on any core
+// count); or — on machines with GOMAXPROCS >= 4, where lock contention is
+// physically possible — if the sharded cache does not reach 2x
+// single-lock throughput at 8 goroutines.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -45,6 +56,8 @@ import (
 	"gminer/internal/core"
 	"gminer/internal/gen"
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
+	"gminer/internal/plan"
 	"gminer/internal/trace"
 	"gminer/internal/wire"
 )
@@ -52,15 +65,55 @@ import (
 // Report is the JSON document bench writes. Field names are stable: the
 // CI regression check and the README examples parse them.
 type Report struct {
-	PR         int       `json:"pr"`
-	Profile    string    `json:"profile"`
-	Seed       int64     `json:"seed"`
-	GoVersion  string    `json:"go_version"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	NumCPU     int       `json:"num_cpu"`
-	Cache      CacheRep  `json:"cache"`
-	Encode     []PathRep `json:"encode"`
-	Workloads  []WorkRep `json:"workloads"`
+	PR         int        `json:"pr"`
+	Profile    string     `json:"profile"`
+	Seed       int64      `json:"seed"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Cache      CacheRep   `json:"cache"`
+	Encode     []PathRep  `json:"encode"`
+	Kernels    KernelsRep `json:"kernels"`
+	Plans      []PlanRep  `json:"plans"`
+	Workloads  []WorkRep  `json:"workloads"`
+}
+
+// KernelsRep is the intersection-strategy sweep: for each operand-size
+// shape, the per-call cost of every strategy plus the adaptive entry
+// point, so the Choose thresholds (GallopRatio, BitsetMinLen) are backed
+// by a checked-in measurement rather than folklore.
+type KernelsRep struct {
+	Universe int           `json:"universe"`
+	Points   []KernelPoint `json:"points"`
+}
+
+type KernelPoint struct {
+	LenSmall int     `json:"len_small"`
+	LenLarge int     `json:"len_large"`
+	Ratio    int     `json:"ratio"`
+	Chosen   string  `json:"chosen"`
+	MergeNs  float64 `json:"merge_ns_per_op"`
+	GallopNs float64 `json:"gallop_ns_per_op"`
+	BitsetNs float64 `json:"bitset_ns_per_op"`
+	AutoNs   float64 `json:"auto_ns_per_op"`
+}
+
+// PlanRep compares compiled-plan execution (CSR + matching order +
+// symmetry breaking + kernel intersections) against the generic
+// sequential exploration of the same workload. Both sides are
+// single-threaded, so the speedup is core-count independent. The CSR
+// build cost is reported separately because sessions pay it once per
+// resident graph, not per job.
+type PlanRep struct {
+	Name        string  `json:"name"`
+	Vertices    int     `json:"vertices"`
+	Edges       int64   `json:"edges"`
+	Count       int64   `json:"count"`
+	GenericMS   float64 `json:"generic_ms"`
+	PlanMS      float64 `json:"plan_ms"`
+	CSRBuildMS  float64 `json:"csr_build_ms"`
+	Speedup     float64 `json:"speedup"`
+	CountsEqual bool    `json:"counts_equal"`
 }
 
 type CacheRep struct {
@@ -122,7 +175,7 @@ func main() {
 	var (
 		profile    = flag.String("profile", "small", "workload sizes: ci, small or full")
 		seed       = flag.Int64("seed", 42, "generator seed (fixed seed => reproducible graphs)")
-		out        = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR8.json", "output JSON path")
 		baseline   = flag.String("baseline", "", "baseline JSON to compare against (empty = no check)")
 		maxRegress = flag.Float64("max-regress", 0.20, "max allowed triangle throughput regression vs baseline")
 		gate       = flag.Bool("gate", true, "enforce the PR acceptance thresholds (encode allocs, cache speedup)")
@@ -135,7 +188,7 @@ func main() {
 	}
 
 	rep := Report{
-		PR:         3,
+		PR:         8,
 		Profile:    *profile,
 		Seed:       *seed,
 		GoVersion:  runtime.Version(),
@@ -148,6 +201,12 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "bench: encode-path allocations (fresh vs pooled writers)")
 	rep.Encode = benchEncode(*seed)
+
+	fmt.Fprintln(os.Stderr, "bench: intersection kernel sweep (merge vs gallop vs bitset vs adaptive)")
+	rep.Kernels = benchKernels(*seed)
+
+	fmt.Fprintln(os.Stderr, "bench: compiled plans vs generic exploration")
+	rep.Plans = benchPlans(pc, *seed)
 
 	for _, wl := range []struct {
 		name  string
@@ -351,6 +410,151 @@ func benchEncode(seed int64) []PathRep {
 	return out
 }
 
+// kernelSink keeps intersection results observable so the measured loops
+// cannot be elided.
+var kernelSink int
+
+// measureNs times f with doubling iteration counts until the sample is at
+// least 30ms long, returning ns per call. Deterministic inputs + warm-up
+// call make repeated runs comparable.
+func measureNs(f func()) float64 {
+	f() // warm caches and pools
+	for iters := 1; ; iters *= 2 {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		elapsed := time.Since(t0)
+		if elapsed >= 30*time.Millisecond || iters >= 1<<22 {
+			return float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+	}
+}
+
+// randomSortedSet draws n distinct uint32 ranks from [0, universe),
+// sorted ascending — the operand shape every kernel requires.
+func randomSortedSet(rng *rand.Rand, n, universe int) []uint32 {
+	seen := make(map[uint32]struct{}, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		x := uint32(rng.Intn(universe))
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// benchKernels sweeps the three intersection strategies and the adaptive
+// CountScratch entry over operand-size shapes spanning the Choose
+// decision boundaries: balanced (merge territory), the GallopRatio
+// crossover, heavily skewed (gallop territory) and long-balanced (bitset
+// territory when a scratch is available).
+func benchKernels(seed int64) KernelsRep {
+	const universe = 1 << 17
+	rng := rand.New(rand.NewSource(seed))
+	sc := kernels.NewScratch(universe)
+	rep := KernelsRep{Universe: universe}
+	for _, shape := range []struct{ small, large int }{
+		{1024, 1024},
+		{1024, 4096},
+		{1024, 16384},
+		{256, 65536},
+		{4096, 8192},
+	} {
+		a := randomSortedSet(rng, shape.small, universe)
+		b := randomSortedSet(rng, shape.large, universe)
+		p := KernelPoint{
+			LenSmall: shape.small,
+			LenLarge: shape.large,
+			Ratio:    shape.large / shape.small,
+			Chosen:   kernels.Choose(len(a), len(b), true).String(),
+			MergeNs:  measureNs(func() { kernelSink += kernels.CountMerge(a, b) }),
+			GallopNs: measureNs(func() { kernelSink += kernels.CountGallop(a, b) }),
+			BitsetNs: measureNs(func() { kernelSink += kernels.CountBitset(sc, a, b) }),
+			AutoNs:   measureNs(func() { kernelSink += kernels.CountScratch(sc, a, b) }),
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return rep
+}
+
+// benchPlans times compiled-plan execution against the generic sequential
+// exploration on the same seeded graphs. "triangle" runs the generic TC
+// algorithm (scalar counting, ID-order seeding) against plan.Count of the
+// compiled triangle plan; "match" runs the generic GM expansion of the
+// Figure 1 pattern against plan.HomCount of its compiled tree plan. Both
+// sides must agree on the count — a speedup over a wrong answer is not a
+// speedup.
+func benchPlans(pc profileCfg, seed int64) []PlanRep {
+	var out []PlanRep
+
+	timeMS := func(f func()) float64 { return measureNs(f) / 1e6 }
+
+	// Triangle counting.
+	{
+		g := gen.RMAT(gen.RMATConfig{Scale: pc.triScale, Edges: pc.triEdges, Seed: seed})
+		var genericCount int64
+		genericMS := timeMS(func() {
+			tc := algo.NewTriangleCount()
+			tc.Generic = true
+			genericCount = algo.SeqRun(g, tc).AggGlobal.(int64)
+		})
+		var csr *kernels.CSR
+		csrMS := timeMS(func() { csr = kernels.MustBuild(g) })
+		tri := plan.Triangle()
+		var planCount int64
+		planMS := timeMS(func() {
+			n, err := plan.Count(csr, tri)
+			if err != nil {
+				fatalf("plan triangle: %v", err)
+			}
+			planCount = n
+		})
+		out = append(out, PlanRep{
+			Name: "triangle", Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			Count: planCount, GenericMS: genericMS, PlanMS: planMS, CSRBuildMS: csrMS,
+			Speedup: genericMS / planMS, CountsEqual: planCount == genericCount,
+		})
+	}
+
+	// Tree-pattern matching (Figure 1 pattern, homomorphism counts).
+	{
+		g := gen.RMAT(gen.RMATConfig{Scale: pc.matchScale, Edges: pc.matchEdges, Seed: seed})
+		gen.AssignLabels(g, 7, seed+1)
+		p := algo.FigurePattern()
+		var genericCount int64
+		genericMS := timeMS(func() {
+			gm := algo.NewGraphMatch(p)
+			gm.Generic = true
+			genericCount = algo.SeqRun(g, gm).AggGlobal.(int64)
+		})
+		var csr *kernels.CSR
+		csrMS := timeMS(func() { csr = kernels.MustBuild(g) })
+		hp, err := plan.Compile(p.Labels, p.Parent)
+		if err != nil {
+			fatalf("plan match compile: %v", err)
+		}
+		var planCount int64
+		planMS := timeMS(func() {
+			n, err := plan.HomCount(csr, hp)
+			if err != nil {
+				fatalf("plan match: %v", err)
+			}
+			planCount = n
+		})
+		out = append(out, PlanRep{
+			Name: "match", Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			Count: planCount, GenericMS: genericMS, PlanMS: planMS, CSRBuildMS: csrMS,
+			Speedup: genericMS / planMS, CountsEqual: planCount == genericCount,
+		})
+	}
+	return out
+}
+
 // runWorkload executes one example workload twice with a tracer attached
 // and Stealing disabled (so output is a pure function of graph +
 // algorithm + partitioning), verifies the two runs are byte-identical,
@@ -448,6 +652,21 @@ func checkGates(rep *Report) bool {
 	} else {
 		fmt.Fprintf(os.Stderr, "bench: cache gate %s\n", rep.Cache.SpeedupMsg)
 	}
+	for _, p := range rep.Plans {
+		if !p.CountsEqual {
+			fmt.Fprintf(os.Stderr, "bench: FAIL plan gate: %s compiled-plan count diverged from generic exploration\n", p.Name)
+			ok = false
+		}
+		// Both sides of the comparison are single-threaded, so unlike the
+		// cache gate this one is meaningful on any core count.
+		if p.Name == "triangle" && p.Speedup < 2 {
+			fmt.Fprintf(os.Stderr, "bench: FAIL plan gate: triangle compiled plan %.2fx generic < 2x\n", p.Speedup)
+			ok = false
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: plan gate %s: %.1fx generic (%.2f ms -> %.2f ms)\n",
+				p.Name, p.Speedup, p.GenericMS, p.PlanMS)
+		}
+	}
 	for _, w := range rep.Workloads {
 		if !w.RunsIdentical {
 			fmt.Fprintf(os.Stderr, "bench: FAIL determinism gate: %s runs diverged\n", w.Name)
@@ -509,6 +728,24 @@ func printSummary(rep *Report, out string) {
 	for _, p := range rep.Encode {
 		fmt.Printf("  %-10s %6.2f -> %5.2f allocs/op  (-%.1f%%)\n",
 			p.Name, p.FreshAllocs, p.PooledAllocs, p.ReductionPct)
+	}
+	fmt.Println("\nintersection kernels (ns/op; * = strategy Choose selects):")
+	for _, p := range rep.Kernels.Points {
+		mark := func(s string, ns float64) string {
+			star := " "
+			if s == p.Chosen {
+				star = "*"
+			}
+			return fmt.Sprintf("%s%s=%-9.0f", star, s, ns)
+		}
+		fmt.Printf("  |a|=%-5d |b|=%-6d (ratio %-3d) %s %s %s auto=%.0f\n",
+			p.LenSmall, p.LenLarge, p.Ratio,
+			mark("merge", p.MergeNs), mark("gallop", p.GallopNs), mark("bitset", p.BitsetNs), p.AutoNs)
+	}
+	fmt.Println("\ncompiled plans vs generic exploration (single-threaded):")
+	for _, p := range rep.Plans {
+		fmt.Printf("  %-10s |V|=%-6d |E|=%-7d generic=%8.2f ms  plan=%7.2f ms  (+csr %5.2f ms)  %6.1fx  count=%d equal=%v\n",
+			p.Name, p.Vertices, p.Edges, p.GenericMS, p.PlanMS, p.CSRBuildMS, p.Speedup, p.Count, p.CountsEqual)
 	}
 	fmt.Println("\nworkloads (4 workers x 2 threads, stealing off, warm run):")
 	for _, w := range rep.Workloads {

@@ -76,6 +76,7 @@ func main() {
 		minSim  = flag.Float64("minsim", 0.6, "cd/gc attribute similarity threshold")
 		minSize = flag.Int("minsize", 4, "cd/gc minimum community/cluster size")
 		split   = flag.Int("split", 0, "mcf: recursive task split threshold (0=off)")
+		generic = flag.Bool("generic", false, "force the generic exploration path (no compiled plans / intersection kernels)")
 
 		chaosProfile = flag.String("chaos-profile", "", "fault-injection profile: default, heavy, or 'drop=0.05,delay=0.2,delaymax=2ms,crash=1@15ms' (empty=off)")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos RNG seed; same seed, same fault sequence")
@@ -100,6 +101,7 @@ func main() {
 		MinSim:  *minSim,
 		MinSize: *minSize,
 		Split:   *split,
+		Generic: *generic,
 	}.Normalize()
 	jobspec.Prepare(g, spec)
 	a, err := jobspec.Build(g, spec)
@@ -121,6 +123,7 @@ func main() {
 		CheckpointDir:    *ckptDir,
 		CheckpointEvery:  *ckptEvery,
 		Resume:           *resume,
+		DisablePlans:     *generic,
 	}
 	switch *part {
 	case "bdg":

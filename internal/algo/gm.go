@@ -5,6 +5,8 @@ import (
 
 	"gminer/internal/core"
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
+	"gminer/internal/plan"
 	"gminer/internal/wire"
 )
 
@@ -21,6 +23,15 @@ import (
 // RefMatchCount uses the same semantics.
 type GraphMatch struct {
 	P *Pattern
+	// Generic forces the scalar HasNeighbor matching loop instead of the
+	// compiled plan + intersection kernels (the differential baseline).
+	Generic bool
+
+	// plan is the compiled ModeHom execution plan: the level schedule the
+	// kernel path walks. Matching stays in ID space (candidates may live on
+	// remote partitions), so the CSR index is not needed — only the plan's
+	// schedule and the set kernels.
+	plan *plan.Plan
 }
 
 // NewGraphMatch returns GM for the given pattern (nil: Figure 1 pattern).
@@ -28,7 +39,17 @@ func NewGraphMatch(p *Pattern) *GraphMatch {
 	if p == nil {
 		p = FigurePattern()
 	}
-	return &GraphMatch{P: p}
+	a := &GraphMatch{P: p}
+	// Oversize patterns (beyond plan.MaxTreeNodes) fall back to generic.
+	a.plan, _ = plan.Compile(p.Labels, p.Parent)
+	return a
+}
+
+// ConfigureKernels implements core.KernelConfigurable. GM ignores the CSR
+// (matching runs in ID space against pulled candidates); the flag selects
+// between the compiled-plan path and the generic baseline.
+func (a *GraphMatch) ConfigureKernels(_ *kernels.CSR, generic bool) {
+	a.Generic = a.Generic || generic
 }
 
 // Name implements core.Algorithm.
@@ -90,15 +111,32 @@ func (a *GraphMatch) Update(t *core.Task, cands []*graph.Vertex, env core.Env) {
 		return
 	}
 	// Match every pattern node at this level: label match + adjacency to
-	// a matched parent vertex.
-	for _, p := range a.P.Levels()[level] {
-		q := a.P.Parent[p]
-		parents := ctx.matched[q]
+	// a matched parent vertex. The compiled-plan path intersects the
+	// candidate's adjacency with the matched-parent set through the
+	// strategy-selected kernels; the generic path probes parent by parent.
+	// Both walk parents in ascending ID order, so the recorded context is
+	// byte-identical between paths.
+	usePlan := a.plan != nil && !a.Generic
+	var buf []graph.VertexID
+	for _, st := range a.levelSteps(level) {
+		p := st.Node
+		parents := ctx.matched[st.Parent]
 		for i, obj := range cands {
-			if obj == nil || obj.Label != a.P.Labels[p] {
+			if obj == nil || obj.Label != st.Label {
 				continue
 			}
 			w := t.Cands[i]
+			if usePlan {
+				buf = kernels.Intersect(buf[:0], obj.Adj, parents)
+				for _, pv := range buf {
+					if ctx.edges[p] == nil {
+						ctx.edges[p] = make(map[graph.VertexID][]graph.VertexID)
+					}
+					ctx.edges[p][pv] = append(ctx.edges[p][pv], w)
+					ctx.matched[p] = appendUnique(ctx.matched[p], w)
+				}
+				continue
+			}
 			for _, pv := range parents {
 				if obj.HasNeighbor(pv) {
 					if ctx.edges[p] == nil {
@@ -145,6 +183,21 @@ func (a *GraphMatch) Update(t *core.Task, cands []*graph.Vertex, env core.Env) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	t.Pull(ids...)
+}
+
+// levelSteps returns the matching schedule for one level: the compiled
+// plan's steps when available, otherwise the equivalent schedule read off
+// the pattern (both list nodes in ascending index order).
+func (a *GraphMatch) levelSteps(level int) []plan.TreeStep {
+	if a.plan != nil {
+		return a.plan.Level(level)
+	}
+	nodes := a.P.Levels()[level]
+	steps := make([]plan.TreeStep, len(nodes))
+	for i, n := range nodes {
+		steps[i] = plan.TreeStep{Node: n, Parent: a.P.Parent[n], Label: a.P.Labels[n]}
+	}
+	return steps
 }
 
 // countMatches runs the bottom-up dynamic program over the recorded

@@ -3,6 +3,7 @@ package algo
 import (
 	"gminer/internal/core"
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
 )
 
 // MaxClique implements MCF (§8.1): maximum clique finding with an
@@ -114,12 +115,9 @@ func (m *MaxClique) split(t *core.Task, cands []*graph.Vertex) {
 		if u == nil {
 			continue
 		}
-		var np []graph.VertexID
-		for _, w := range t.Cands[i+1:] {
-			if u.HasNeighbor(w) {
-				np = append(np, w)
-			}
-		}
+		// P' = {u_j : j > i} ∩ Γ(u_i): both operands sorted, so the kernel
+		// intersection replaces the per-element HasNeighbor probes.
+		np := kernels.Intersect([]graph.VertexID(nil), t.Cands[i+1:], u.Adj)
 		child := &core.Task{Subgraph: t.Subgraph.Clone()}
 		child.Subgraph.AddVertex(t.Cands[i])
 		child.Cands = np // empty: the child just reports |R'|

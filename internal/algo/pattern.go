@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
 )
 
 // Pattern is a rooted, labeled tree pattern for graph matching, matched
@@ -138,22 +139,11 @@ func weightedSimilarity(a, exemplar []int32, weights []float64) float64 {
 	return match / total
 }
 
-// intersectSorted returns |a ∩ b| for sorted ID slices.
+// intersectSorted returns |a ∩ b| for sorted ID slices. It is a thin
+// front for the kernel layer's adaptive merge/gallop counting, kept so
+// call sites read in set language.
 func intersectSorted(a, b []graph.VertexID) int {
-	i, j, n := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return kernels.Count(a, b)
 }
 
 // formatIDs renders a sorted vertex set as a stable record string.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
 )
 
 // This file holds optimized sequential implementations of the five
@@ -34,24 +35,10 @@ func RefTriangles(g *graph.Graph) int64 {
 	return count
 }
 
-// countCommonAbove counts elements > floor present in both sorted lists.
+// countCommonAbove counts elements > floor present in both sorted lists
+// (the kernel layer's suffix intersection).
 func countCommonAbove(a, b []graph.VertexID, floor graph.VertexID) int {
-	i := sort.Search(len(a), func(i int) bool { return a[i] > floor })
-	j := sort.Search(len(b), func(j int) bool { return b[j] > floor })
-	n := 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return kernels.CountAbove(a, b, floor)
 }
 
 // RefMaxClique returns the maximum clique size (0 for the empty graph, 1

@@ -10,6 +10,7 @@ import (
 	"gminer/internal/chaos"
 	"gminer/internal/core"
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
 	"gminer/internal/metrics"
 	"gminer/internal/partition"
 	"gminer/internal/trace"
@@ -113,6 +114,10 @@ type launchEnv struct {
 	endpoints     []transport.Endpoint
 	counters      []*metrics.Counters
 	release       func()
+	// csr is the session's prebuilt degree-ranked adjacency index, shared
+	// read-only by every job on the resident graph (nil when the session
+	// disabled plans; a single-shot job builds its own).
+	csr *kernels.CSR
 	// remote, when non-nil, marks the workers as living in other
 	// processes: startWithEnv builds only the master and Wait collects
 	// worker results through this state instead of local Worker structs.
@@ -196,6 +201,24 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 		return nil, fmt.Errorf("cluster: graph must be frozen")
 	}
 	j := &Job{cfg: cfg, g: g, algo: algo, failures: make(chan int, cfg.Workers)}
+
+	// Configure the kernel layer before any seeding: plan-capable
+	// algorithms get the CSR index (session-shared, or built here for
+	// single-shot jobs) unless the config forces the generic baseline.
+	if kc, ok := algo.(core.KernelConfigurable); ok {
+		switch {
+		case cfg.DisablePlans:
+			kc.ConfigureKernels(nil, true)
+		case env != nil && env.csr != nil:
+			kc.ConfigureKernels(env.csr, false)
+		default:
+			csr, err := kernels.Build(g)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: build CSR index: %w", err)
+			}
+			kc.ConfigureKernels(csr, false)
+		}
+	}
 	if env != nil && env.remote != nil {
 		j.remote = env.remote
 		if cfg.Resume {

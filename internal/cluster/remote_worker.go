@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"gminer/internal/core"
 	"gminer/internal/graph"
 	"gminer/internal/jobspec"
+	"gminer/internal/kernels"
 	"gminer/internal/metrics"
 	"gminer/internal/partition"
 	"gminer/internal/transport"
@@ -80,6 +82,12 @@ type WorkerProcess struct {
 	fingerprint uint64
 	assign      *partition.Assignment
 	local       *localTable
+
+	// csr is the process-wide degree-ranked adjacency index for compiled
+	// plans, built lazily on the first plan-capable job and shared by every
+	// subsequent one (the resident graph never changes under a process).
+	csrOnce sync.Once
+	csr     *kernels.CSR
 
 	net *transport.RemoteNetwork
 	mux *transport.Mux
@@ -270,6 +278,21 @@ func (wp *WorkerProcess) heartbeatLoop() {
 	}
 }
 
+// csrIndex returns the process-wide CSR index, building it on first use.
+// A build failure logs and returns nil, which sends algorithms down their
+// generic fallback instead of failing the job.
+func (wp *WorkerProcess) csrIndex() *kernels.CSR {
+	wp.csrOnce.Do(func() {
+		c, err := kernels.Build(wp.g)
+		if err != nil {
+			wp.logf("CSR index build failed (jobs run generic): %v", err)
+			return
+		}
+		wp.csr = c
+	})
+	return wp.csr
+}
+
 // startJob opens the job's mux channel, builds this node's engine worker —
 // restoring from the newest committed epoch the coordinator vouched for,
 // when the start message carries resume refs — and runs the job to
@@ -291,6 +314,13 @@ func (wp *WorkerProcess) startJob(m *jobStartMsg) {
 		// at the coordinator's result timeout.
 		wp.logf("job %s: cannot build %q: %v", m.JobID, spec.App, err)
 		return
+	}
+	if kc, ok := algo.(core.KernelConfigurable); ok {
+		if spec.Generic || wp.cfg.DisablePlans {
+			kc.ConfigureKernels(nil, true)
+		} else {
+			kc.ConfigureKernels(wp.csrIndex(), false)
+		}
 	}
 
 	cfg := wp.cfg

@@ -9,6 +9,7 @@ import (
 	"gminer/internal/core"
 	"gminer/internal/graph"
 	"gminer/internal/jobspec"
+	"gminer/internal/kernels"
 	"gminer/internal/memctl"
 	"gminer/internal/metrics"
 	"gminer/internal/partition"
@@ -31,6 +32,11 @@ type Session struct {
 	cfg    Config
 	assign *partition.Assignment
 	locals []*localTable
+	// csr is the degree-ranked adjacency index compiled execution plans run
+	// on, built once at session start (like the partition and the vertex
+	// tables) and shared read-only by every job. Nil when the session
+	// config disables plans.
+	csr *kernels.CSR
 
 	net *transport.LocalNetwork
 	mux *transport.Mux
@@ -74,6 +80,13 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	s.locals = make([]*localTable, cfg.Workers)
 	for i := range s.locals {
 		s.locals[i] = buildLocalTable(g, assign, i)
+	}
+
+	if !cfg.DisablePlans {
+		s.csr, err = kernels.Build(g)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: session CSR index: %w", err)
+		}
 	}
 
 	nodes := cfg.Workers + 1
@@ -149,6 +162,11 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 	cfg.JobID = id
 	cfg.Tracer = opt.Tracer
 	cfg.RoundHook = opt.RoundHook
+	if opt.Spec != nil && opt.Spec.Generic {
+		// Spec-requested differential baseline: this job runs generic even
+		// though the session holds a warm CSR index.
+		cfg.DisablePlans = true
+	}
 	if opt.MemBudgetBytes > 0 {
 		cfg.MemBudget = memctl.NewBudget(opt.MemBudgetBytes)
 	}
@@ -176,6 +194,7 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 		locals:        s.locals,
 		endpoints:     eps,
 		counters:      counters,
+		csr:           s.csr,
 		release: func() {
 			s.mux.CloseChannel(ch)
 			s.forget(id)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"gminer/internal/graph"
+	"gminer/internal/kernels"
 	"gminer/internal/wire"
 )
 
@@ -27,6 +28,21 @@ type Algorithm interface {
 	// t.Pull to continue into the next round; returning without Pull ends
 	// the task.
 	Update(t *Task, cands []*graph.Vertex, env Env)
+}
+
+// KernelConfigurable is implemented by algorithms that can execute
+// compiled plans against a prebuilt kernels.CSR index (degree-ranked
+// packed adjacency). The runtime calls ConfigureKernels exactly once per
+// job, after graph validation and before seeding; csr may be nil when no
+// index is available (the algorithm must fall back to its generic path).
+// generic forces the generic path even with an index present — the
+// differential baseline the plan-vs-generic test suite compares against.
+//
+// Contract: plans change where exploration starts and how intersections
+// run, never what a job outputs. An algorithm's results (aggregate and
+// emitted records) must be byte-identical with and without kernels.
+type KernelConfigurable interface {
+	ConfigureKernels(csr *kernels.CSR, generic bool)
 }
 
 // AggregatorProvider is implemented by algorithms that use global

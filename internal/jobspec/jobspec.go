@@ -39,6 +39,12 @@ type Spec struct {
 	// attrs: 2). It never affects an already-labeled graph, so jobs on a
 	// serving daemon's resident graph ignore it.
 	Seed int64 `json:"seed,omitempty"`
+	// Generic forces the generic exploration path instead of compiled
+	// execution plans + intersection kernels — the differential baseline.
+	// Results are byte-identical by contract, but CacheKey still includes
+	// it: a differential comparison driven through the serving layer must
+	// observe two real executions, not one execution and a cache hit.
+	Generic bool `json:"generic,omitempty"`
 
 	// Serving-side QoS hints (internal/qos). They shape when and whether
 	// a job runs — never what it computes — so CacheKey excludes them.
@@ -109,8 +115,8 @@ func (s Spec) Normalize() Spec {
 // byte-identical results.
 func (s Spec) CacheKey() string {
 	n := s.Normalize()
-	return fmt.Sprintf("app=%s|labels=%d|pattern=%s|minsim=%g|minsize=%d|split=%d|seed=%d",
-		n.App, n.Labels, n.Pattern, n.MinSim, n.MinSize, n.Split, n.Seed)
+	return fmt.Sprintf("app=%s|labels=%d|pattern=%s|minsim=%g|minsize=%d|split=%d|seed=%d|generic=%t",
+		n.App, n.Labels, n.Pattern, n.MinSim, n.MinSize, n.Split, n.Seed, n.Generic)
 }
 
 // Validate checks the normalised spec without needing a graph.
@@ -209,7 +215,9 @@ func Build(g *graph.Graph, s Spec) (core.Algorithm, error) {
 	}
 	switch s.App {
 	case "tc":
-		return algo.NewTriangleCount(), nil
+		tc := algo.NewTriangleCount()
+		tc.Generic = s.Generic
+		return tc, nil
 	case "mcf":
 		mc := algo.NewMaxClique()
 		mc.SplitThreshold = s.Split
@@ -223,7 +231,9 @@ func Build(g *graph.Graph, s Spec) (core.Algorithm, error) {
 				return nil, err
 			}
 		}
-		return algo.NewGraphMatch(p), nil
+		gm := algo.NewGraphMatch(p)
+		gm.Generic = s.Generic
+		return gm, nil
 	case "gl3":
 		return algo.NewGraphletCensus(), nil
 	case "qc":

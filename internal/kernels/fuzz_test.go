@@ -1,0 +1,87 @@
+package kernels
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// FuzzIntersectKernels cross-checks every intersection strategy — merge,
+// gallop, bitset and the adaptive entry points — against a map-based
+// oracle on arbitrary byte-derived operands. The raw bytes are first
+// normalized into the sorted duplicate-free form the kernels require, so
+// the fuzzer explores operand *shapes* (sizes, densities, overlaps),
+// which is where intersection bugs live.
+func FuzzIntersectKernels(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{0, 0, 0, 255}, []byte{255})
+	f.Add([]byte{1, 1, 2, 3, 5, 8, 13, 21}, []byte{2, 4, 8, 16, 32, 64})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := setFromBytes(rawA)
+		b := setFromBytes(rawB)
+		want := intersectOracle(a, b)
+
+		if got := intersectMerge(nil, a, b); !sameSet(got, want) {
+			t.Fatalf("merge %v, oracle %v (a=%v b=%v)", got, want, a, b)
+		}
+		if got := intersectGallop(nil, a, b); !sameSet(got, want) {
+			t.Fatalf("gallop %v, oracle %v (a=%v b=%v)", got, want, a, b)
+		}
+		if got := Intersect(nil, a, b); !sameSet(got, want) {
+			t.Fatalf("auto %v, oracle %v (a=%v b=%v)", got, want, a, b)
+		}
+		sc := NewScratch(1 << 17)
+		if got := IntersectScratchForced(sc, nil, a, b); !sameSet(got, want) {
+			t.Fatalf("bitset %v, oracle %v (a=%v b=%v)", got, want, a, b)
+		}
+		for name, n := range map[string]int{
+			"CountMerge":  CountMerge(a, b),
+			"CountGallop": CountGallop(a, b),
+			"Count":       Count(a, b),
+			"CountBitset": CountBitset(sc, a, b),
+			"CountAuto":   CountScratch(sc, a, b),
+		} {
+			if n != len(want) {
+				t.Fatalf("%s = %d, oracle %d (a=%v b=%v)", name, n, len(want), a, b)
+			}
+		}
+		if len(a) > 0 {
+			floor := a[len(a)/2]
+			wantAbove := 0
+			for _, x := range want {
+				if x > floor {
+					wantAbove++
+				}
+			}
+			if n := CountAbove(a, b, floor); n != wantAbove {
+				t.Fatalf("CountAbove(floor=%d) = %d, want %d", floor, n, wantAbove)
+			}
+		}
+	})
+}
+
+// setFromBytes turns fuzzer bytes into a sorted duplicate-free uint32
+// slice, pairing bytes so the universe exceeds one byte of range.
+func setFromBytes(raw []byte) []uint32 {
+	seen := map[uint32]bool{}
+	for i := 0; i+1 < len(raw); i += 2 {
+		seen[uint32(raw[i])<<8|uint32(raw[i+1])] = true
+	}
+	if len(raw)%2 == 1 {
+		seen[uint32(raw[len(raw)-1])] = true
+	}
+	out := make([]uint32, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameSet(got, want []uint32) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}

@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"testing"
+)
+
+// FuzzCompile feeds arbitrary byte-derived label/parent arrays to the
+// tree compiler and arbitrary edge soups to the graph compiler. The
+// contract under fuzz: compile or reject with an error — never panic —
+// and every accepted plan is structurally sound (each node scheduled
+// exactly once, every non-root step connected to an earlier one).
+func FuzzCompile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 1, 2})
+	f.Add([]byte{5, 0, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{255, 254, 253, 252, 251})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Tree form: byte i is node i's parent (i-1 biased so byte 0 can
+		// reach parent -1 for the root); labels cycle over a small range.
+		labels := make([]int32, len(raw))
+		parent := make([]int, len(raw))
+		for i, b := range raw {
+			labels[i] = int32(b % 5)
+			parent[i] = int(b) - 1
+		}
+		p, err := Compile(labels, parent)
+		if err == nil {
+			scheduled := 0
+			for _, lvl := range p.TreeLevels {
+				scheduled += len(lvl)
+			}
+			if scheduled != p.Nodes {
+				t.Fatalf("tree plan schedules %d of %d nodes", scheduled, p.Nodes)
+			}
+		}
+
+		// Graph form: bytes pair up into an edge soup over a node count
+		// derived from the first byte.
+		if len(raw) == 0 {
+			return
+		}
+		n := int(raw[0]%uint8(MaxEmbedNodes)) + 1
+		var edges [][2]int
+		for i := 1; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int{int(raw[i]) - 1, int(raw[i+1]) - 1})
+		}
+		gp, err := CompileGraph(n, edges, nil)
+		if err != nil {
+			return
+		}
+		if len(gp.Steps) != n || len(gp.Order) != n {
+			t.Fatalf("graph plan has %d steps / %d order for %d nodes", len(gp.Steps), len(gp.Order), n)
+		}
+		seen := make(map[int]bool, n)
+		for s, st := range gp.Steps {
+			if st.Node != gp.Order[s] {
+				t.Fatalf("step %d node %d disagrees with order %d", s, st.Node, gp.Order[s])
+			}
+			if seen[st.Node] {
+				t.Fatalf("node %d scheduled twice", st.Node)
+			}
+			seen[st.Node] = true
+			if s > 0 && len(st.Connect) == 0 {
+				t.Fatalf("step %d has no connection to earlier steps (pattern should be connected)", s)
+			}
+			for _, lst := range [][]int{st.Connect, st.After, st.Before, st.Distinct} {
+				for _, e := range lst {
+					if e < 0 || e >= s {
+						t.Fatalf("step %d references step %d (out of range)", s, e)
+					}
+				}
+			}
+		}
+	})
+}

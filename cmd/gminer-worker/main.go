@@ -13,9 +13,13 @@
 //
 //	gminer-worker ... -coordinator 127.0.0.1:7070 -node 1 -checkpoint-dir /data/ckpt/node-1
 //
-// SIGINT/SIGTERM stop the process gracefully (running jobs are abandoned
-// to the coordinator's failure detector, which waits for a replacement).
-// The process also exits on its own when the coordinator goes away.
+// SIGINT/SIGTERM drain the worker before it leaves: it asks the
+// coordinator to barrier-checkpoint every live job it participates in,
+// waits (up to -drain-timeout) for those epochs to commit, and only then
+// detaches — so a rolling restart loses no progress and a replacement
+// resumes from the drained epoch. If the drain times out the worker
+// leaves anyway and the coordinator's failure detector takes over. The
+// process also exits on its own when the coordinator goes away.
 package main
 
 import (
@@ -51,13 +55,14 @@ func main() {
 
 		labels = flag.Int("labels", 7, "label alphabet assigned at startup when the graph is unlabeled (must match the coordinator)")
 
-		coordinator = flag.String("coordinator", "", "coordinator cluster address (its -cluster-listen) [required]")
-		node        = flag.Int("node", -1, "worker slot to claim: -1 lets the coordinator assign one; an explicit index is how a replacement takes over a crashed worker's slot")
-		listen      = flag.String("listen", "127.0.0.1:0", "this worker's TCP listen address")
-		advertise   = flag.String("advertise", "", "address peers dial to reach this worker (default: the bound listen address)")
-		ckptDir     = flag.String("checkpoint-dir", "", "snapshot directory for this worker's per-job checkpoint files; a replacement must reuse its predecessor's")
-		joinTimeout = flag.Duration("join-timeout", 30*time.Second, "join handshake budget, dial retries included")
-		heartbeat   = flag.Duration("heartbeat-every", 250*time.Millisecond, "liveness report period")
+		coordinator  = flag.String("coordinator", "", "coordinator cluster address (its -cluster-listen) [required]")
+		node         = flag.Int("node", -1, "worker slot to claim: -1 lets the coordinator assign one; an explicit index is how a replacement takes over a crashed worker's slot")
+		listen       = flag.String("listen", "127.0.0.1:0", "this worker's TCP listen address")
+		advertise    = flag.String("advertise", "", "address peers dial to reach this worker (default: the bound listen address)")
+		ckptDir      = flag.String("checkpoint-dir", "", "snapshot directory for this worker's per-job checkpoint files; a replacement must reuse its predecessor's")
+		joinTimeout  = flag.Duration("join-timeout", 30*time.Second, "join handshake budget, dial retries included")
+		heartbeat    = flag.Duration("heartbeat-every", 250*time.Millisecond, "liveness report period")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget: how long to wait for a barrier checkpoint of live jobs to commit before detaching anyway")
 	)
 	flag.Parse()
 
@@ -118,7 +123,12 @@ func main() {
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigs:
-		fmt.Printf("received %s: leaving the cluster\n", sig)
+		fmt.Printf("received %s: draining (barrier checkpoint, up to %s) before leaving\n", sig, *drainTimeout)
+		if err := wp.Drain(*drainTimeout); err != nil {
+			fmt.Printf("drain: %v (detaching anyway)\n", err)
+		} else {
+			fmt.Println("drain complete: checkpoints committed, detaching")
+		}
 	case <-wp.Done():
 		fmt.Println("coordinator link closed: exiting")
 	}

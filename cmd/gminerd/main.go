@@ -54,6 +54,7 @@ func main() {
 		clusterAdv    = flag.String("cluster-advertise", "", "address advertised to worker processes (default: the bound cluster-listen address)")
 		joinTimeout   = flag.Duration("join-timeout", 60*time.Second, "coordinator mode: how long to wait for all worker processes to join before serving")
 		failTimeout   = flag.Duration("fail-timeout", 2*time.Second, "coordinator mode: silence after which a worker process is considered lost")
+		resume        = flag.Bool("resume", false, "coordinator mode: rebuild held jobs from -checkpoint-dir JOBSPEC+MANIFEST files and resume them once all workers rejoin")
 
 		addr         = flag.String("addr", "127.0.0.1:7077", "HTTP listen address")
 		maxJobs      = flag.Int("max-jobs", 2, "maximum concurrently mining jobs")
@@ -103,11 +104,13 @@ func main() {
 
 	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
 	var sess server.Cluster
+	var held []cluster.HeldJob
 	if *clusterListen != "" {
 		// Multi-process coordinator: the engine's workers live in separate
 		// gminer-worker processes dialing in over TCP. Block serving until
 		// every slot has joined — a job launched into a half-formed cluster
 		// would only stall against the failure detector.
+		ccfg.Resume = *resume
 		rs, err := cluster.NewRemoteSession(g, ccfg, cluster.RemoteSessionConfig{
 			Listen:      *clusterListen,
 			Advertise:   *clusterAdv,
@@ -124,6 +127,7 @@ func main() {
 		if err := rs.WaitReady(*joinTimeout); err != nil {
 			fatal(err)
 		}
+		held = rs.HeldJobs()
 		sess = rs
 	} else {
 		s, err := cluster.NewSession(g, ccfg)
@@ -153,6 +157,22 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("serving: http://%s (POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, /healthz, /metrics)\n", bound)
+
+	// -resume: resubmit every held job under its original ID. The cluster
+	// layer matches the ID to its JOBSPEC+MANIFEST directory and restores
+	// from the highest epoch all rejoined workers still hold, so the job
+	// continues instead of recomputing from scratch.
+	for _, hj := range held {
+		if err := srv.SubmitJob(server.JobRequest{
+			Spec:                   hj.Spec,
+			ID:                     hj.ID,
+			CheckpointEverySeconds: hj.CheckpointEverySeconds,
+		}); err != nil {
+			fmt.Printf("resume: job %s not resubmitted: %v\n", hj.ID, err)
+		} else {
+			fmt.Printf("resume: job %s resubmitted from its checkpoint manifest\n", hj.ID)
+		}
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

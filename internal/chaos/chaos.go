@@ -134,6 +134,23 @@ func Heavy(seed uint64) Profile {
 	}
 }
 
+// HeartbeatFlaky is the fencing-soak profile: aimed at a worker's
+// heartbeat path only (WorkerOptions.HeartbeatChaos), it loses most
+// beats and delays the rest well past typical failure timeouts. The
+// worker stays alive and mining — only its liveness signal degrades —
+// which is exactly the split-brain setup generation fencing must
+// survive: the coordinator reclaims the "silent" slot, and the delayed
+// beats that later trickle in must be refused, not re-admit the zombie.
+func HeartbeatFlaky(seed uint64) Profile {
+	return Profile{
+		Seed:     seed,
+		Drop:     0.95,
+		Delay:    0.05,
+		DelayMin: 200 * time.Millisecond,
+		DelayMax: 600 * time.Millisecond,
+	}
+}
+
 // Active reports whether the profile injects anything at all.
 func (p Profile) Active() bool {
 	return p.Drop > 0 || p.Delay > 0 || p.Dup > 0 || p.Reorder > 0 ||

@@ -9,9 +9,10 @@ import (
 
 // ParseProfile builds a Profile from a CLI spec. Named profiles:
 //
-//	off      — zero profile (inject nothing)
-//	default  — Default(seed)
-//	heavy    — Heavy(seed)
+//	off        — zero profile (inject nothing)
+//	default    — Default(seed)
+//	heavy      — Heavy(seed)
+//	heartbeat  — HeartbeatFlaky(seed), for a worker's heartbeat path
 //
 // Anything else is a comma-separated key=value list:
 //
@@ -30,6 +31,8 @@ func ParseProfile(spec string, seed uint64) (Profile, error) {
 		return Default(seed), nil
 	case "heavy":
 		return Heavy(seed), nil
+	case "heartbeat", "heartbeat-flaky":
+		return HeartbeatFlaky(seed), nil
 	}
 	p := Profile{Seed: seed}
 	for _, field := range strings.Split(spec, ",") {

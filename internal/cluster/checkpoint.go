@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -86,18 +87,27 @@ type snapshotSink struct {
 	dir         string
 	workers     int
 	fingerprint uint64
+	// gen is the writer's fencing generation, stamped into checkpoint
+	// filenames when non-zero so a zombie's late put() writes to its own
+	// generation's file instead of clobbering its replacement's.
+	gen int64
+	// fence, when set (coordinator side of a multi-process job), makes
+	// commit refuse acks bearing a fenced-out generation.
+	fence *fenceTable
 
 	mu  sync.Mutex
 	mem map[int64]map[int][]byte // epoch → worker → raw snapshot payload
 	man *manifest                // latest committed manifest, nil before the first commit
 }
 
-// newSnapshotSink opens the sink. With resume set, an existing MANIFEST in
-// dir is loaded (the caller validates its fingerprint); without it, any
-// stale checkpoint state in dir belongs to a previous job and is removed
-// so in-job recovery can never restore another run's snapshot.
-func newSnapshotSink(dir string, workers int, fingerprint uint64, resume bool) (*snapshotSink, error) {
-	s := &snapshotSink{dir: dir, workers: workers, fingerprint: fingerprint}
+// newSnapshotSink opens the sink. gen is the writer's fencing generation
+// (0 = unfenced single-process mode). With resume set, an existing
+// MANIFEST in dir is loaded (the caller validates its fingerprint);
+// without it, any stale checkpoint state in dir belongs to a previous job
+// and is removed so in-job recovery can never restore another run's
+// snapshot.
+func newSnapshotSink(dir string, workers int, fingerprint uint64, gen int64, resume bool) (*snapshotSink, error) {
+	s := &snapshotSink{dir: dir, workers: workers, fingerprint: fingerprint, gen: gen}
 	if dir == "" {
 		s.mem = make(map[int64]map[int][]byte)
 		return s, nil
@@ -179,9 +189,22 @@ func (s *snapshotSink) put(worker int, epoch int64, data []byte) (uint32, error)
 // file for it is durable and checksummed by `crcs`. The previous committed
 // epoch is retained as the restore fallback; anything older is GC'd. Run
 // by the master once all msgCheckpointDone acks for the epoch arrived.
-func (s *snapshotSink) commit(epoch int64, crcs []uint32) error {
+//
+// gens, when non-nil, carries the fencing generation each ack arrived
+// with; a commit is refused outright if any ack bears a generation the
+// fence table has since moved past — a zombie must not vouch for an epoch
+// after its replacement joined, even if its ack raced the admission.
+func (s *snapshotSink) commit(epoch int64, crcs []uint32, gens []int64) error {
 	if len(crcs) != s.workers {
 		return fmt.Errorf("checkpoint: commit epoch %d with %d checksums, want %d", epoch, len(crcs), s.workers)
+	}
+	if s.fence != nil && gens != nil {
+		for w, g := range gens {
+			if s.fence.stale(w, g) {
+				return fmt.Errorf("checkpoint: refusing commit of epoch %d: worker %d ack bears fenced generation %d (slot is at %d)",
+					epoch, w, g, s.fence.current(w))
+			}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -222,15 +245,48 @@ func (s *snapshotSink) gcLocked() {
 	}
 	matches, _ := filepath.Glob(filepath.Join(s.dir, "worker-*.epoch-*.ckpt"))
 	for _, m := range matches {
-		var worker int
-		var epoch int64
-		if _, err := fmt.Sscanf(filepath.Base(m), "worker-%d.epoch-%d.ckpt", &worker, &epoch); err != nil {
-			continue
-		}
-		if !keep(epoch) {
+		_, epoch, _, ok := parseCkptName(filepath.Base(m))
+		if ok && !keep(epoch) {
 			_ = os.Remove(m)
 		}
 	}
+}
+
+// parseCkptName decodes both checkpoint filename forms: the legacy
+// worker-<w>.epoch-<e>.ckpt and the generation-stamped
+// worker-<w>.epoch-<e>.gen-<g>.ckpt (gen 0 is reported for legacy names).
+func parseCkptName(name string) (worker int, epoch, gen int64, ok bool) {
+	if n, _ := fmt.Sscanf(name, "worker-%d.epoch-%d.gen-%d.ckpt", &worker, &epoch, &gen); n == 3 {
+		return worker, epoch, gen, true
+	}
+	if n, err := fmt.Sscanf(name, "worker-%d.epoch-%d.ckpt", &worker, &epoch); n == 2 && err == nil {
+		return worker, epoch, 0, true
+	}
+	return 0, 0, 0, false
+}
+
+// heldEpochsIn scans a checkpoint directory for one worker's snapshot
+// files (any generation) and returns the distinct epochs found, newest
+// first. Used by a restarting worker process to tell the coordinator what
+// it can restore; the commit-time CRC is still the authority at restore,
+// so listing an uncommitted or torn epoch here is harmless.
+func heldEpochsIn(dir string, worker int) []int64 {
+	matches, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("worker-%d.epoch-*.ckpt", worker)))
+	seen := make(map[int64]bool)
+	var epochs []int64
+	for _, m := range matches {
+		w, epoch, _, ok := parseCkptName(filepath.Base(m))
+		if !ok || w != worker || seen[epoch] {
+			continue
+		}
+		seen[epoch] = true
+		epochs = append(epochs, epoch)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	if len(epochs) > maxHeldEpochs {
+		epochs = epochs[:maxHeldEpochs]
+	}
+	return epochs
 }
 
 // load reads one worker's snapshot for a committed epoch, verifying the
@@ -266,13 +322,34 @@ func (s *snapshotSink) loadWith(worker int, epoch int64, wantCRC uint32) (*worke
 		}
 		payload, crc = data, checksum(data)
 	} else {
-		b, err := os.ReadFile(s.path(worker, epoch))
-		if err != nil {
-			return nil, fmt.Errorf("checkpoint: %w", err)
+		// The file may have been written under any generation (a restarted
+		// process restores its predecessor's snapshots), so try every name
+		// form; the commit-time CRC decides which file is the real one.
+		var lastErr error
+		for _, p := range s.candidatePaths(worker, epoch) {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				lastErr = fmt.Errorf("checkpoint: %w", err)
+				continue
+			}
+			pl, c, err := unframe(snapshotMagic, b)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if c != wantCRC {
+				lastErr = fmt.Errorf("checkpoint: worker %d epoch %d checksum %08x does not match manifest %08x",
+					worker, epoch, c, wantCRC)
+				continue
+			}
+			payload, crc = pl, c
+			break
 		}
-		payload, crc, err = unframe(snapshotMagic, b)
-		if err != nil {
-			return nil, err
+		if payload == nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("checkpoint: worker %d epoch %d missing", worker, epoch)
+			}
+			return nil, lastErr
 		}
 	}
 	if crc != wantCRC {
@@ -338,7 +415,28 @@ func (s *snapshotSink) loadAll() (int64, []*workerSnapshot, error) {
 }
 
 func (s *snapshotSink) path(worker int, epoch int64) string {
+	if s.gen > 0 {
+		return filepath.Join(s.dir, fmt.Sprintf("worker-%d.epoch-%d.gen-%d.ckpt", worker, epoch, s.gen))
+	}
 	return filepath.Join(s.dir, fmt.Sprintf("worker-%d.epoch-%d.ckpt", worker, epoch))
+}
+
+// candidatePaths lists the filenames a (worker, epoch) snapshot may live
+// under, this sink's own generation first, then the legacy un-stamped
+// name, then any other generation's file.
+func (s *snapshotSink) candidatePaths(worker int, epoch int64) []string {
+	own := s.path(worker, epoch)
+	paths := []string{own}
+	if legacy := filepath.Join(s.dir, fmt.Sprintf("worker-%d.epoch-%d.ckpt", worker, epoch)); legacy != own {
+		paths = append(paths, legacy)
+	}
+	matches, _ := filepath.Glob(filepath.Join(s.dir, fmt.Sprintf("worker-%d.epoch-%d.gen-*.ckpt", worker, epoch)))
+	for _, m := range matches {
+		if m != own {
+			paths = append(paths, m)
+		}
+	}
+	return paths
 }
 
 // writeFileDurable writes data to path with the tmp + fsync + rename +
@@ -466,13 +564,18 @@ func (w *Worker) checkpointFailed(epoch int64, err error) {
 	w.ackCheckpoint(epoch, 0, false)
 }
 
-// ackCheckpoint reports the epoch's outcome to the master. A killed worker
-// stays silent, like a crashed machine.
+// ackCheckpoint reports the epoch's outcome to the master, stamped with
+// the writer's fencing generation. A killed worker stays silent, like a
+// crashed machine.
 func (w *Worker) ackCheckpoint(epoch int64, crc uint32, ok bool) {
 	if w.killed.Load() {
 		return
 	}
-	_ = w.ep.Send(w.masterNode, msgCheckpointDone, encodeCkptAck(epoch, crc, ok))
+	var gen int64
+	if w.snapshots != nil {
+		gen = w.snapshots.gen
+	}
+	_ = w.ep.Send(w.masterNode, msgCheckpointDone, encodeCkptAck(epoch, crc, ok, gen))
 }
 
 // lastCheckpointErr returns the most recent checkpoint failure, nil if all

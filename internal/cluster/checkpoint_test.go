@@ -99,7 +99,7 @@ func TestManifestCodecRejectsInvalid(t *testing.T) {
 
 func TestSinkCorruptLatestEpochFallsBack(t *testing.T) {
 	dir := t.TempDir()
-	sink, err := newSnapshotSink(dir, 2, 7, false)
+	sink, err := newSnapshotSink(dir, 2, 7, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestSinkCorruptLatestEpochFallsBack(t *testing.T) {
 			}
 			crcs[w] = crc
 		}
-		if err := sink.commit(epoch, crcs); err != nil {
+		if err := sink.commit(epoch, crcs, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -161,7 +161,7 @@ func corruptFile(t *testing.T, path string) {
 
 func TestSinkStaleFileCannotImpersonateCommittedEpoch(t *testing.T) {
 	dir := t.TempDir()
-	sink, err := newSnapshotSink(dir, 1, 7, false)
+	sink, err := newSnapshotSink(dir, 1, 7, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestSinkStaleFileCannotImpersonateCommittedEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sink.commit(1, []uint32{crc}); err != nil {
+	if err := sink.commit(1, []uint32{crc}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Overwrite the committed file with a DIFFERENT validly-framed snapshot
@@ -187,7 +187,7 @@ func TestSinkStaleFileCannotImpersonateCommittedEpoch(t *testing.T) {
 
 func TestSinkGCKeepsOnlyTwoCommittedEpochs(t *testing.T) {
 	dir := t.TempDir()
-	sink, err := newSnapshotSink(dir, 1, 7, false)
+	sink, err := newSnapshotSink(dir, 1, 7, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestSinkGCKeepsOnlyTwoCommittedEpochs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sink.commit(epoch, []uint32{crc}); err != nil {
+		if err := sink.commit(epoch, []uint32{crc}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -216,26 +216,26 @@ func TestSinkGCKeepsOnlyTwoCommittedEpochs(t *testing.T) {
 
 func TestSinkFreshStartWipesStaleState(t *testing.T) {
 	dir := t.TempDir()
-	first, err := newSnapshotSink(dir, 1, 7, false)
+	first, err := newSnapshotSink(dir, 1, 7, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	snap := &workerSnapshot{Epoch: 1, TaskBytes: []byte{}, Results: []string{}}
 	crc, _ := first.put(0, 1, encodeSnapshot(snap))
-	if err := first.commit(1, []uint32{crc}); err != nil {
+	if err := first.commit(1, []uint32{crc}, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	// A resume sink sees the manifest; a fresh sink wipes it so a stale
 	// job's snapshots can never leak into in-job recovery.
-	resumed, err := newSnapshotSink(dir, 1, 7, true)
+	resumed, err := newSnapshotSink(dir, 1, 7, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resumed.manifestView() == nil {
 		t.Fatal("resume sink did not load the manifest")
 	}
-	fresh, err := newSnapshotSink(dir, 1, 7, false)
+	fresh, err := newSnapshotSink(dir, 1, 7, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,53 @@
+package cluster
+
+import "sync/atomic"
+
+// fenceTable is the cluster's fencing-token ledger: the current generation
+// of every worker slot (1-based; generation rises by one each time a
+// process claims the slot). It is shared by everything on the coordinator
+// that must refuse a zombie — the control loop, the job master's
+// checkpoint-ack handler, and the snapshot sink's commit — so a single
+// admission decision fences the old holder everywhere at once.
+//
+// A nil *fenceTable means "unfenced" (single-process mode): every check
+// passes. Generations only ever rise; raise() is a CAS loop so a stale
+// update can never lower one.
+type fenceTable struct {
+	gens []atomic.Int64 // by worker slot
+}
+
+func newFenceTable(workers int) *fenceTable {
+	return &fenceTable{gens: make([]atomic.Int64, workers)}
+}
+
+// current returns the slot's present generation (0 before any admission).
+func (f *fenceTable) current(slot int) int64 {
+	if f == nil || slot < 0 || slot >= len(f.gens) {
+		return 0
+	}
+	return f.gens[slot].Load()
+}
+
+// raise lifts the slot's generation to at least gen. Monotonic: a
+// reordered or replayed update can never un-fence a slot.
+func (f *fenceTable) raise(slot int, gen int64) {
+	if f == nil || slot < 0 || slot >= len(f.gens) {
+		return
+	}
+	for {
+		cur := f.gens[slot].Load()
+		if gen <= cur || f.gens[slot].CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// stale reports whether a message stamped with gen from the slot should
+// be refused: the slot has since been claimed by a later generation.
+// Unfenced traffic (nil table, or gen 0 against a gen-0 slot) passes.
+func (f *fenceTable) stale(slot int, gen int64) bool {
+	if f == nil {
+		return false
+	}
+	return gen < f.current(slot)
+}

@@ -136,6 +136,36 @@ func FuzzDecodeHello(f *testing.F) {
 	})
 }
 
+// The control plane is JSON, so the decoder cannot rely on per-field
+// length clamps the way the binary codecs do; it must instead refuse
+// oversized frames outright and reject malformed JSON without panicking,
+// whatever struct the caller aims it at.
+func FuzzDecodeCtrl(f *testing.F) {
+	f.Add(encodeCtrl(jobStartMsg{Channel: 1, JobID: "job-1",
+		Resume: []resumeEpochRef{{Epoch: 3, CRC: 7}}}))
+	f.Add(encodeCtrl(jobStopMsg{Channel: 2}))
+	f.Add(encodeCtrl(jobResultMsg{Channel: 1, JobID: "job-1", Worker: 0,
+		Records: []string{"r"}, Gen: 2}))
+	f.Add(encodeCtrl(topologyMsg{Peers: []string{"a:1", "", "c:3"}, Gens: []int64{1, 0, 2}}))
+	f.Add(encodeCtrl(heartbeatMsg{Gen: 3, Draining: true}))
+	f.Add(encodeCtrl(drainMsg{Gen: 1}))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"gen":"not a number"}`))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var start jobStartMsg
+		_ = decodeCtrl(data, &start)
+		var res jobResultMsg
+		_ = decodeCtrl(data, &res)
+		var topo topologyMsg
+		_ = decodeCtrl(data, &topo)
+		var hb heartbeatMsg
+		_ = decodeCtrl(data, &hb)
+		var dr drainMsg
+		_ = decodeCtrl(data, &dr)
+	})
+}
+
 func FuzzDecodeWelcome(f *testing.F) {
 	f.Add(encodeWelcome(welcomeFrame{OK: true, Node: 1, Workers: 3, Peers: []string{"a:1", "", "c:3"}}))
 	f.Add(encodeWelcome(welcomeFrame{OK: false, Reason: "fingerprint mismatch"}))

@@ -24,7 +24,10 @@ import (
 
 // handshakeVersion is the join protocol version. Bump on any incompatible
 // change to the hello/welcome codecs or the control-plane messages.
-const handshakeVersion = 1
+// v2: transport frames carry a fencing generation, the welcome assigns
+// one, the hello lists locally-held checkpoint epochs, and heartbeats are
+// JSON payloads carrying the sender's generation.
+const handshakeVersion = 2
 
 // helloMagic / welcomeMagic open every handshake frame, so a stray or
 // corrupt frame is distinguishable from a version skew.
@@ -39,11 +42,28 @@ const (
 const (
 	maxHandshakeAddr  = 256
 	maxHandshakePeers = 4096
+	// maxHeldJobs / maxHeldEpochs bound the hello's held-checkpoint list:
+	// jobs a restarted worker still has snapshot files for, and epochs per
+	// job (the manifest only ever vouches for two).
+	maxHeldJobs   = 256
+	maxHeldEpochs = 16
+	maxHeldJobID  = 256
 )
 
 // errVersionMismatch is returned by the decoders when the frame is
 // well-formed but speaks a different handshake version.
 var errVersionMismatch = errors.New("cluster: handshake version mismatch")
+
+// heldEpochs names the committed-checkpoint epochs a (re)joining worker
+// still holds local snapshot files for, one entry per job checkpoint
+// directory. The coordinator intersects these across workers on a
+// multi-process resume to pick the highest epoch every worker can
+// restore. Epochs are newest-first; only files that parse as checkpoint
+// names are listed (the commit-time CRC is still verified at restore).
+type heldEpochs struct {
+	JobID  string
+	Epochs []int64
+}
 
 // helloFrame is the worker → coordinator join request.
 type helloFrame struct {
@@ -51,6 +71,10 @@ type helloFrame struct {
 	Node        int32  // claimed node slot, or -1 to be assigned one
 	Fingerprint uint64 // jobFingerprint of the worker's graph + config
 	Advertise   string // address peers dial to reach this worker
+	// Held lists this worker's locally-held checkpoint epochs per job
+	// (empty for fresh workers or slot auto-assignment: a worker that does
+	// not yet know its node index cannot name its snapshot files).
+	Held []heldEpochs
 }
 
 // welcomeFrame is the coordinator → worker reply.
@@ -60,10 +84,14 @@ type welcomeFrame struct {
 	Node    int32    // assigned node slot
 	Workers int32    // cluster worker count K (nodes are 0..K, master at K)
 	Peers   []string // dial addresses by node index; "" = not yet joined
+	// Generation is the slot's fencing token: stamped on every frame this
+	// worker sends, refused everywhere once a later generation claims the
+	// slot.
+	Generation int64
 }
 
 func encodeHello(h helloFrame) []byte {
-	w := wire.NewWriter(32 + len(h.Advertise))
+	w := wire.NewWriter(64 + len(h.Advertise))
 	for i := 0; i < len(helloMagic); i++ {
 		w.Byte(helloMagic[i])
 	}
@@ -71,6 +99,14 @@ func encodeHello(h helloFrame) []byte {
 	w.Varint(int64(h.Node))
 	w.Uvarint(h.Fingerprint)
 	w.String(h.Advertise)
+	w.Uvarint(uint64(len(h.Held)))
+	for _, he := range h.Held {
+		w.String(he.JobID)
+		w.Uvarint(uint64(len(he.Epochs)))
+		for _, e := range he.Epochs {
+			w.Varint(e)
+		}
+	}
 	return w.Bytes()
 }
 
@@ -84,15 +120,36 @@ func decodeHello(b []byte) (helloFrame, error) {
 	h.Node = int32(r.Varint())
 	h.Fingerprint = r.Uvarint()
 	h.Advertise = r.String()
+	// Gate the version before walking variable-length sections: a v1 frame
+	// has no held list, and decoding one as v2 would misreport the skew.
+	if r.Err() == nil && h.Version != handshakeVersion {
+		return helloFrame{}, fmt.Errorf("%w: peer speaks v%d, this binary v%d",
+			errVersionMismatch, h.Version, handshakeVersion)
+	}
+	nj := r.Uvarint()
+	if r.Err() == nil && nj > maxHeldJobs {
+		return helloFrame{}, fmt.Errorf("cluster: hello: %d held jobs", nj)
+	}
+	for i := uint64(0); i < nj && r.Err() == nil; i++ {
+		var he heldEpochs
+		he.JobID = r.String()
+		if len(he.JobID) > maxHeldJobID {
+			return helloFrame{}, fmt.Errorf("cluster: hello: held job id %d bytes long", len(he.JobID))
+		}
+		ne := r.Uvarint()
+		if r.Err() == nil && ne > maxHeldEpochs {
+			return helloFrame{}, fmt.Errorf("cluster: hello: %d held epochs", ne)
+		}
+		for j := uint64(0); j < ne && r.Err() == nil; j++ {
+			he.Epochs = append(he.Epochs, r.Varint())
+		}
+		h.Held = append(h.Held, he)
+	}
 	if err := r.Err(); err != nil {
 		return helloFrame{}, fmt.Errorf("cluster: hello: %w", err)
 	}
 	if r.Remaining() != 0 {
 		return helloFrame{}, fmt.Errorf("cluster: hello: %d trailing bytes", r.Remaining())
-	}
-	if h.Version != handshakeVersion {
-		return helloFrame{}, fmt.Errorf("%w: peer speaks v%d, this binary v%d",
-			errVersionMismatch, h.Version, handshakeVersion)
 	}
 	if len(h.Advertise) > maxHandshakeAddr {
 		return helloFrame{}, fmt.Errorf("cluster: hello: advertise address %d bytes long", len(h.Advertise))
@@ -114,6 +171,7 @@ func encodeWelcome(wf welcomeFrame) []byte {
 	for _, p := range wf.Peers {
 		w.String(p)
 	}
+	w.Varint(wf.Generation)
 	return w.Bytes()
 }
 
@@ -139,6 +197,7 @@ func decodeWelcome(b []byte) (welcomeFrame, error) {
 		}
 		wf.Peers = append(wf.Peers, p)
 	}
+	wf.Generation = r.Varint()
 	if err := r.Err(); err != nil {
 		return welcomeFrame{}, fmt.Errorf("cluster: welcome: %w", err)
 	}

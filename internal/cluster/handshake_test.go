@@ -17,24 +17,50 @@ func TestHandshakeHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if out.Version != in.Version || out.Node != in.Node ||
+		out.Fingerprint != in.Fingerprint || out.Advertise != in.Advertise ||
+		len(out.Held) != 0 {
 		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+
+	// A rejoining worker's hello also carries its held checkpoint epochs.
+	in.Held = []heldEpochs{
+		{JobID: "job-1", Epochs: []int64{5, 3}},
+		{JobID: "job-2", Epochs: []int64{12}},
+	}
+	out, err = decodeHello(encodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Held) != len(in.Held) {
+		t.Fatalf("held round trip: got %d jobs want %d", len(out.Held), len(in.Held))
+	}
+	for i, he := range in.Held {
+		if out.Held[i].JobID != he.JobID || len(out.Held[i].Epochs) != len(he.Epochs) {
+			t.Fatalf("held job %d: got %+v want %+v", i, out.Held[i], he)
+		}
+		for j, e := range he.Epochs {
+			if out.Held[i].Epochs[j] != e {
+				t.Fatalf("held job %d epoch %d: got %d want %d", i, j, out.Held[i].Epochs[j], e)
+			}
+		}
 	}
 }
 
 func TestHandshakeWelcomeRoundTrip(t *testing.T) {
 	in := welcomeFrame{
-		OK:      true,
-		Node:    2,
-		Workers: 3,
-		Peers:   []string{"127.0.0.1:1", "", "127.0.0.1:3", "127.0.0.1:4"},
+		OK:         true,
+		Node:       2,
+		Workers:    3,
+		Peers:      []string{"127.0.0.1:1", "", "127.0.0.1:3", "127.0.0.1:4"},
+		Generation: 7,
 	}
 	out, err := decodeWelcome(encodeWelcome(in))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.OK != in.OK || out.Node != in.Node || out.Workers != in.Workers ||
-		len(out.Peers) != len(in.Peers) {
+		len(out.Peers) != len(in.Peers) || out.Generation != in.Generation {
 		t.Fatalf("round trip: got %+v want %+v", out, in)
 	}
 	for i := range in.Peers {

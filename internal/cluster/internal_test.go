@@ -210,7 +210,7 @@ func TestSnapshotCodec(t *testing.T) {
 
 func TestSnapshotSinkMemoryAndDisk(t *testing.T) {
 	for _, dir := range []string{"", t.TempDir()} {
-		sink, err := newSnapshotSink(dir, 1, 42, false)
+		sink, err := newSnapshotSink(dir, 1, 42, 0, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,7 +226,7 @@ func TestSnapshotSinkMemoryAndDisk(t *testing.T) {
 		if snap, err := sink.get(0); err != nil || snap != nil {
 			t.Fatalf("dir=%q: uncommitted epoch visible: %+v %v", dir, snap, err)
 		}
-		if err := sink.commit(1, []uint32{crc1}); err != nil {
+		if err := sink.commit(1, []uint32{crc1}, nil); err != nil {
 			t.Fatal(err)
 		}
 		got, err := sink.get(0)
@@ -239,7 +239,7 @@ func TestSnapshotSinkMemoryAndDisk(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sink.commit(2, []uint32{crc2}); err != nil {
+		if err := sink.commit(2, []uint32{crc2}, nil); err != nil {
 			t.Fatal(err)
 		}
 		got, _ = sink.get(0)

@@ -87,6 +87,9 @@ type Job struct {
 	// (RemoteSession): no local Worker structs exist and the final records
 	// arrive over the control channel instead of takeResults.
 	remote *remoteJobState
+	// fence is the coordinator's fencing-token ledger (nil outside
+	// multi-process mode), shared with the master and snapshot sink.
+	fence *fenceTable
 
 	partitionTime time.Duration
 	started       time.Time
@@ -122,19 +125,36 @@ type launchEnv struct {
 	// processes: startWithEnv builds only the master and Wait collects
 	// worker results through this state instead of local Worker structs.
 	remote *remoteJobState
+	// fence is the coordinator's fencing-token ledger (nil outside
+	// multi-process mode): the master and snapshot sink consult it to
+	// refuse checkpoint acks from fenced-out worker generations.
+	fence *fenceTable
 }
 
 // remoteJobState gathers the per-worker results a multi-process job ships
 // over the control channel when each worker-process finishes the job.
 type remoteJobState struct {
 	timeout time.Duration
+	// fence, when set, gates completion on result generations: a draining
+	// worker ships a partial result at detach, and the job must not look
+	// complete until the replacement (at a later generation) supersedes it.
+	fence *fenceTable
 
 	mu       sync.Mutex
 	records  map[int][]string
 	counters map[int]metrics.Snapshot
 	ckptErrs map[int]string
+	gens     map[int]int64 // generation each worker's delivery arrived with
 	need     int
 	done     chan struct{}
+}
+
+// remoteStateWithFence builds the collector with the coordinator's
+// fencing ledger attached (the multi-process session path).
+func remoteStateWithFence(workers int, timeout time.Duration, fence *fenceTable) *remoteJobState {
+	r := newRemoteJobState(workers, timeout)
+	r.fence = fence
+	return r
 }
 
 func newRemoteJobState(workers int, timeout time.Duration) *remoteJobState {
@@ -143,6 +163,7 @@ func newRemoteJobState(workers int, timeout time.Duration) *remoteJobState {
 		records:  make(map[int][]string),
 		counters: make(map[int]metrics.Snapshot),
 		ckptErrs: make(map[int]string),
+		gens:     make(map[int]int64),
 		need:     workers,
 		done:     make(chan struct{}),
 	}
@@ -150,14 +171,23 @@ func newRemoteJobState(workers int, timeout time.Duration) *remoteJobState {
 
 // deliver records one worker's shipped result. A replacement worker for
 // the same node supersedes an earlier delivery (the engine's termination
-// rule guarantees the final, complete instance reports last).
+// rule guarantees the final, complete instance reports last). Completion
+// requires a delivery from every worker AND that none of them has since
+// been fenced out — a detaching worker's partial result holds its slot's
+// place but can never satisfy the job by itself.
 func (r *remoteJobState) deliver(m *jobResultMsg) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.records[m.Worker] = m.Records
 	r.counters[m.Worker] = m.Counters
 	r.ckptErrs[m.Worker] = m.CkptErr
+	r.gens[m.Worker] = m.Gen
 	if len(r.records) == r.need {
+		for w, g := range r.gens {
+			if r.fence.stale(w, g) {
+				return
+			}
+		}
 		select {
 		case <-r.done:
 		default:
@@ -221,9 +251,6 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 	}
 	if env != nil && env.remote != nil {
 		j.remote = env.remote
-		if cfg.Resume {
-			return nil, fmt.Errorf("cluster: remote jobs cannot resume at the coordinator (workers restore from their own checkpoints at rejoin)")
-		}
 		if cfg.Chaos != nil {
 			return nil, fmt.Errorf("cluster: remote jobs do not support chaos injection")
 		}
@@ -302,9 +329,13 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 		return nil, fmt.Errorf("cluster: resume requires a checkpoint directory")
 	}
 	fingerprint := jobFingerprint(g, algo.Name(), cfg)
-	sink, err := newSnapshotSink(cfg.CheckpointDir, cfg.Workers, fingerprint, cfg.Resume)
+	sink, err := newSnapshotSink(cfg.CheckpointDir, cfg.Workers, fingerprint, 0, cfg.Resume)
 	if err != nil {
 		return nil, err
+	}
+	if env != nil && env.fence != nil {
+		j.fence = env.fence
+		sink.fence = env.fence
 	}
 	j.sink = sink
 
@@ -326,7 +357,7 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 	if ap, ok := algo.(core.AggregatorProvider); ok {
 		agg = ap.Aggregator()
 	}
-	j.master = newMaster(cfg, endpoints[cfg.Workers], agg, j.counters[cfg.Workers], j.failures, sink)
+	j.master = newMaster(cfg, endpoints[cfg.Workers], agg, j.counters[cfg.Workers], j.failures, sink, j.fence)
 	if resumeEpoch != noEpoch {
 		// New epochs must supersede every committed one or the manifest's
 		// newest-first ordering breaks.
@@ -566,6 +597,23 @@ func (j *Job) noteRecovered() {
 	j.workerMu.Lock()
 	j.recovered++
 	j.workerMu.Unlock()
+}
+
+// requestBarrier asks the job's master to checkpoint on its next periodic
+// pass (no-op when checkpointing is disabled). The coordinator uses it to
+// commit a draining worker's state before letting the process detach.
+func (j *Job) requestBarrier() {
+	j.master.requestBarrier()
+}
+
+// committedEpoch returns the newest committed epoch (noEpoch if none).
+func (j *Job) committedEpoch() int64 {
+	return j.master.committedEpoch()
+}
+
+// checkpointing reports whether the job runs with periodic checkpoints.
+func (j *Job) checkpointing() bool {
+	return j.cfg.CheckpointEvery > 0 && j.cfg.CheckpointDir != ""
 }
 
 // recoveryLoop respawns workers flagged dead by the master's failure

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"sync/atomic"
 	"time"
 
 	"gminer/internal/core"
 	"gminer/internal/metrics"
+	"gminer/internal/trace"
 	"gminer/internal/transport"
 	"gminer/internal/wire"
 )
@@ -32,10 +34,22 @@ type master struct {
 	epoch        int64
 	ckptPending  int
 	ckptAcks     map[int]uint32 // worker → snapshot CRC acked for m.epoch
+	ackGens      map[int]int64  // worker → fencing generation the ack arrived with
 	sink         *snapshotSink  // commits epochs to the MANIFEST; may be nil in tests
 	ckptErr      error          // last commit failure, surfaced on cluster.Result
 	lastCkpt     time.Time
 	lastAggBytes []byte
+
+	// fence is the cluster's fencing-token ledger (nil in single-process
+	// mode): acks from a fenced-out generation are dropped before they can
+	// count toward a commit.
+	fence   *fenceTable
+	trFence trace.Handle
+
+	// barrier, when set, forces a checkpoint on the next periodic() pass
+	// regardless of the interval clock. A draining worker raises it (via
+	// the coordinator) so its state is committed before it detaches.
+	barrier atomic.Bool
 
 	failed   map[int]bool
 	failures chan<- int
@@ -45,7 +59,7 @@ type master struct {
 }
 
 func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
-	counters *metrics.Counters, failures chan<- int, sink *snapshotSink) *master {
+	counters *metrics.Counters, failures chan<- int, sink *snapshotSink, fence *fenceTable) *master {
 	m := &master{
 		cfg:      cfg,
 		ep:       ep,
@@ -55,7 +69,10 @@ func newMaster(cfg Config, ep transport.Endpoint, agg core.Aggregator,
 		lastSeen: make([]time.Time, cfg.Workers),
 		partials: make([][]byte, cfg.Workers),
 		ckptAcks: make(map[int]uint32),
+		ackGens:  make(map[int]int64),
 		sink:     sink,
+		fence:    fence,
+		trFence:  cfg.Tracer.Handle(cfg.Workers, trace.CompCheckpoint),
 		failed:   make(map[int]bool),
 		failures: failures,
 		doneCh:   make(chan struct{}),
@@ -145,6 +162,13 @@ func (m *master) handleCkptAck(msg transport.Message) {
 	if msg.From < 0 || msg.From >= m.cfg.Workers {
 		return
 	}
+	if m.fence.stale(msg.From, ack.Gen) {
+		// A zombie's ack: its slot has been claimed by a later generation.
+		// Dropping it here (and re-checking in sink.commit) keeps a fenced
+		// process from ever vouching for an epoch.
+		m.trFence.Event(trace.EvFenced, uint64(ack.Gen)<<8|uint64(msgCheckpointDone))
+		return
+	}
 	if _, dup := m.ckptAcks[msg.From]; dup {
 		return // chaos duplication: count each worker once
 	}
@@ -155,16 +179,19 @@ func (m *master) handleCkptAck(msg transport.Message) {
 		return
 	}
 	m.ckptAcks[msg.From] = ack.CRC
+	m.ackGens[msg.From] = ack.Gen
 	m.ckptPending--
 	if m.ckptPending > 0 || len(m.ckptAcks) != m.cfg.Workers {
 		return
 	}
 	crcs := make([]uint32, m.cfg.Workers)
+	gens := make([]int64, m.cfg.Workers)
 	for w, crc := range m.ckptAcks {
 		crcs[w] = crc
+		gens[w] = m.ackGens[w]
 	}
 	if m.sink != nil {
-		if err := m.sink.commit(m.epoch, crcs); err != nil {
+		if err := m.sink.commit(m.epoch, crcs, gens); err != nil {
 			m.ckptErr = err
 		}
 	}
@@ -227,13 +254,15 @@ func (m *master) periodic() {
 				m.ckptPending = 0
 			}
 		}
-		if m.ckptPending == 0 && time.Since(m.lastCkpt) >= m.cfg.CheckpointEvery {
+		if m.ckptPending == 0 && (time.Since(m.lastCkpt) >= m.cfg.CheckpointEvery || m.barrier.Load()) {
+			m.barrier.Store(false)
 			m.epoch++
 			// Workers already marked dead will never ack; do not wait on
 			// them or the epoch stalls until the abandon timeout. (Such an
 			// epoch is incomplete by construction and will not commit.)
 			m.ckptPending = m.cfg.Workers - len(m.failed)
 			m.ckptAcks = make(map[int]uint32)
+			m.ackGens = make(map[int]int64)
 			m.lastCkpt = time.Now()
 			m.broadcast(msgCheckpointReq, encodeEpoch(m.epoch))
 		}
@@ -263,6 +292,27 @@ func (m *master) periodic() {
 			}
 		}
 	}
+}
+
+// requestBarrier asks the master to trigger a checkpoint on its next
+// periodic pass regardless of the interval clock. Safe from any
+// goroutine. A no-op when the job runs with checkpointing disabled
+// (CheckpointEvery == 0): there is no manifest to commit to, and the
+// caller must not wait on one.
+func (m *master) requestBarrier() {
+	m.barrier.Store(true)
+}
+
+// committedEpoch returns the newest committed epoch, or noEpoch when
+// nothing has committed (or the job has no sink).
+func (m *master) committedEpoch() int64 {
+	if m.sink == nil {
+		return noEpoch
+	}
+	if man := m.sink.manifestView(); man != nil {
+		return man.Epoch
+	}
+	return noEpoch
 }
 
 // checkTermination applies the stability-based quiescence test: every

@@ -239,13 +239,19 @@ type ckptAck struct {
 	Epoch int64
 	CRC   uint32 // checksum of the persisted snapshot payload; 0 when !OK
 	OK    bool
+	// Gen is the acking worker's fencing generation (0 = unfenced
+	// single-process mode). The master drops acks from a fenced-out
+	// generation, and the snapshot sink refuses to commit them: a zombie
+	// must not be able to vouch for an epoch its replacement did not write.
+	Gen int64
 }
 
-func encodeCkptAck(epoch int64, crc uint32, ok bool) []byte {
-	w := wire.NewWriter(16)
+func encodeCkptAck(epoch int64, crc uint32, ok bool, gen int64) []byte {
+	w := wire.NewWriter(24)
 	w.Varint(epoch)
 	w.Uvarint(uint64(crc))
 	w.Bool(ok)
+	w.Varint(gen)
 	return w.Bytes()
 }
 
@@ -255,5 +261,6 @@ func decodeCkptAck(b []byte) (ckptAck, error) {
 	a.Epoch = r.Varint()
 	a.CRC = uint32(r.Uvarint())
 	a.OK = r.Bool()
+	a.Gen = r.Varint()
 	return a, r.Err()
 }

@@ -36,10 +36,29 @@ const (
 	// address table; re-broadcast on every join so live workers learn a
 	// replacement's address.
 	ctrlTopology
-	// ctrlHeartbeat: worker process → coordinator. Liveness for /healthz;
-	// the payload is empty (the frame's from-node identifies the sender).
+	// ctrlHeartbeat: worker process → coordinator. Liveness for /healthz.
+	// The payload is a heartbeatMsg carrying the sender's fencing
+	// generation and draining state (the frame's from-node identifies the
+	// sender; an empty payload is tolerated as a v1-style beat at gen 0).
 	ctrlHeartbeat
+	// ctrlDrain: worker process → coordinator. The worker received SIGTERM
+	// and entered the draining state: hold its jobs, run a barrier
+	// checkpoint, and answer ctrlDrainOK once the epoch commits so the
+	// worker can detach without losing in-flight work.
+	ctrlDrain
+	// ctrlDrainOK: coordinator → worker process. Every active job the
+	// draining worker participates in has committed a checkpoint epoch (or
+	// none were running); it is now safe to exit.
+	ctrlDrainOK
 )
+
+// maxCtrlPayload bounds a ctrl-plane JSON frame before json.Unmarshal.
+// The binary hot-path decoders clamp every length field; JSON carries its
+// sizes implicitly, so the only defense against a hostile length prefix
+// provoking a giant allocation is refusing the frame outright. 64 MiB
+// comfortably covers the largest legitimate payload (a jobResultMsg's
+// record list).
+const maxCtrlPayload = 64 << 20
 
 // resumeEpochRef names one committed epoch and the commit-time checksum
 // of ONE worker's snapshot in it. The coordinator (sole MANIFEST owner)
@@ -76,12 +95,30 @@ type jobResultMsg struct {
 	Counters metrics.Snapshot `json:"counters"`
 	// CkptErr is the worker's last checkpoint persist failure ("" = none).
 	CkptErr string `json:"ckpt_err,omitempty"`
+	// Gen is the sender's fencing generation; the coordinator refuses a
+	// result from a generation older than the slot's current one.
+	Gen int64 `json:"gen,omitempty"`
 }
 
 // topologyMsg is the ctrlTopology payload: dial addresses by node index
-// (workers 0..K-1, coordinator at K); "" = not yet joined.
+// (workers 0..K-1, coordinator at K); "" = not yet joined. Gens carries
+// each slot's current fencing generation in the same order, so every
+// worker process can raise its transport fencing floor for a peer slot
+// the moment a replacement claims it.
 type topologyMsg struct {
 	Peers []string `json:"peers"`
+	Gens  []int64  `json:"gens,omitempty"`
+}
+
+// heartbeatMsg is the ctrlHeartbeat payload.
+type heartbeatMsg struct {
+	Gen      int64 `json:"gen"`
+	Draining bool  `json:"draining,omitempty"`
+}
+
+// drainMsg is the ctrlDrain / ctrlDrainOK payload.
+type drainMsg struct {
+	Gen int64 `json:"gen"`
 }
 
 func encodeCtrl(v any) []byte {
@@ -94,6 +131,9 @@ func encodeCtrl(v any) []byte {
 }
 
 func decodeCtrl(b []byte, v any) error {
+	if len(b) > maxCtrlPayload {
+		return fmt.Errorf("cluster: control decode: %d-byte frame exceeds %d-byte bound", len(b), maxCtrlPayload)
+	}
 	if err := json.Unmarshal(b, v); err != nil {
 		return fmt.Errorf("cluster: control decode: %w", err)
 	}

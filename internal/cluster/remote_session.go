@@ -1,9 +1,14 @@
 package cluster
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gminer/internal/core"
@@ -11,8 +16,19 @@ import (
 	"gminer/internal/jobspec"
 	"gminer/internal/metrics"
 	"gminer/internal/partition"
+	"gminer/internal/trace"
 	"gminer/internal/transport"
 )
+
+// errCoordinatorShutdown is the cancel cause Close attaches to jobs it
+// tears down: it marks the teardown as a coordinator restart rather than
+// a user cancel, so the job's durable JOBSPEC survives for `-resume`.
+var errCoordinatorShutdown = errors.New("cluster: coordinator shutdown")
+
+// jobspecName is the durable per-job spec file the coordinator writes
+// into the job's checkpoint directory at launch, next to the MANIFEST. A
+// restarted coordinator rebuilds its job registry from these.
+const jobspecName = "JOBSPEC"
 
 // RemoteSessionConfig configures the coordinator side of a multi-process
 // cluster.
@@ -59,16 +75,24 @@ type WorkerStatus struct {
 	Addr     string    `json:"addr,omitempty"`
 	LastSeen time.Time `json:"-"`
 	// Generation counts how many times the slot was (re)claimed; >1 means
-	// a replacement process took over after a loss.
+	// a replacement process took over after a loss. It doubles as the
+	// slot's fencing token: traffic from older generations is refused.
 	Generation int `json:"generation,omitempty"`
+	// Draining marks a worker that received SIGTERM and is waiting for a
+	// barrier checkpoint to commit before detaching.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // workerSlot is the coordinator's registry entry for one worker node.
 type workerSlot struct {
 	addr       string
 	joined     bool
+	draining   bool
 	lastSeen   time.Time
 	generation int
+	// held maps job ID → set of checkpoint epochs the process claimed to
+	// hold local snapshot files for at join (coordinator-resume input).
+	held map[string]map[int64]bool
 }
 
 // remoteJobMeta is what the coordinator must remember about a live job to
@@ -81,6 +105,30 @@ type remoteJobMeta struct {
 	spec      jobspec.Spec
 	ckptEvery time.Duration
 	job       *Job
+	// resumeEpoch, when not noEpoch, pins the initial job-start resume
+	// refs to ONE epoch: a full-session resume must restore every worker
+	// from the same cut, so the coordinator picks the highest committed
+	// epoch all rejoined workers hold and sends only that. Cleared (set to
+	// noEpoch) after the initial starts; later rejoins fall back across
+	// the whole manifest as usual.
+	resumeEpoch atomic.Int64
+}
+
+// jobspecFile is the JOBSPEC JSON schema: everything Launch needs to
+// reconstruct a held job on a restarted coordinator.
+type jobspecFile struct {
+	ID                     string       `json:"id"`
+	Spec                   jobspec.Spec `json:"spec"`
+	CheckpointEverySeconds float64      `json:"checkpoint_every_seconds,omitempty"`
+}
+
+// HeldJob is one resumable job a restarted coordinator found on disk
+// (JOBSPEC + MANIFEST in its checkpoint directory). The serving layer
+// resubmits these after the worker slots rejoin.
+type HeldJob struct {
+	ID                     string
+	Spec                   jobspec.Spec
+	CheckpointEverySeconds float64
 }
 
 // RemoteSession is the multi-process sibling of Session: the same
@@ -112,6 +160,15 @@ type RemoteSession struct {
 	readyOnce sync.Once
 	readyCh   chan struct{}
 
+	// fence is the cluster's fencing-token ledger, raised at admission and
+	// consulted by the control loop, every job's master and every sink.
+	fence *fenceTable
+	// fencedSeen dedups fenced-traffic log lines per slot: a zombie can
+	// emit thousands of frames before it notices it is dead, and one line
+	// per (generation, message type) is all an operator needs. Trace events
+	// still fire per refusal.
+	fencedSeen []atomic.Int64
+
 	mu      sync.Mutex
 	slots   []workerSlot
 	jobs    map[string]*Job
@@ -119,6 +176,10 @@ type RemoteSession struct {
 	nextCh  uint64
 	closed  bool
 	ctlDone chan struct{}
+	// resumable maps job IDs found on disk at a `-resume` start to their
+	// JOBSPEC contents; a Launch of one of these IDs restores from the
+	// MANIFEST instead of starting fresh.
+	resumable map[string]HeldJob
 }
 
 // NewRemoteSession starts the coordinator: it partitions the graph (for
@@ -135,19 +196,28 @@ func NewRemoteSession(g *graph.Graph, cfg Config, rcfg RemoteSessionConfig) (*Re
 	if cfg.Chaos != nil {
 		return nil, fmt.Errorf("cluster: remote sessions do not support chaos injection")
 	}
-	if cfg.Resume {
-		return nil, fmt.Errorf("cluster: remote sessions cannot resume (workers restore at rejoin)")
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("cluster: coordinator resume requires a checkpoint directory")
 	}
 
 	s := &RemoteSession{
-		g:       g,
-		cfg:     cfg,
-		rcfg:    rcfg,
-		readyCh: make(chan struct{}),
-		slots:   make([]workerSlot, cfg.Workers),
-		jobs:    make(map[string]*Job),
-		byCh:    make(map[uint64]*remoteJobMeta),
-		ctlDone: make(chan struct{}),
+		g:          g,
+		cfg:        cfg,
+		rcfg:       rcfg,
+		readyCh:    make(chan struct{}),
+		fence:      newFenceTable(cfg.Workers),
+		slots:      make([]workerSlot, cfg.Workers),
+		jobs:       make(map[string]*Job),
+		byCh:       make(map[uint64]*remoteJobMeta),
+		ctlDone:    make(chan struct{}),
+		fencedSeen: make([]atomic.Int64, cfg.Workers),
+	}
+	if cfg.Resume {
+		s.resumable = scanHeldJobs(cfg.CheckpointDir)
+		// The session-level Resume flag has done its work (the scan); jobs
+		// resume individually by ID so fresh launches still start clean.
+		s.cfg.Resume = false
+		cfg.Resume = false
 	}
 
 	pStart := time.Now()
@@ -167,6 +237,12 @@ func NewRemoteSession(g *graph.Graph, cfg Config, rcfg RemoteSessionConfig) (*Re
 		Advertise: rcfg.Advertise,
 		Redial:    rcfg.Redial,
 		Hello:     s.handleHello,
+		// Transport-level fencing refusals (frames a zombie sent after its
+		// slot was reclaimed) surface as EvFenced trace events on every
+		// live job, same as the control loop's app-level refusals.
+		OnFenced: func(from int, typ uint8, gen, min uint32) {
+			s.traceFenced(from, int64(gen), typ)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -183,6 +259,53 @@ func NewRemoteSession(g *graph.Graph, cfg Config, rcfg RemoteSessionConfig) (*Re
 	s.mux.StartDemux()
 	go s.ctlLoop()
 	return s, nil
+}
+
+// scanHeldJobs walks the coordinator's checkpoint root for per-job
+// subdirectories carrying both a JOBSPEC and a committed MANIFEST — jobs
+// a previous coordinator process held when it died.
+func scanHeldJobs(root string) map[string]HeldJob {
+	held := make(map[string]HeldJob)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return held
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		b, err := os.ReadFile(filepath.Join(dir, jobspecName))
+		if err != nil {
+			continue
+		}
+		var jf jobspecFile
+		if json.Unmarshal(b, &jf) != nil || jf.ID == "" || jf.ID != e.Name() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+			// No committed epoch: nothing to resume from. Drop the stale
+			// spec so the next fresh launch of this ID starts clean.
+			_ = os.Remove(filepath.Join(dir, jobspecName))
+			continue
+		}
+		held[jf.ID] = HeldJob{ID: jf.ID, Spec: jf.Spec, CheckpointEverySeconds: jf.CheckpointEverySeconds}
+	}
+	return held
+}
+
+// HeldJobs lists the resumable jobs a `-resume` coordinator found on
+// disk, sorted by ID. The serving layer resubmits each (same ID) once the
+// worker slots have rejoined; Launch then restores it from the MANIFEST.
+func (s *RemoteSession) HeldJobs() []HeldJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HeldJob, 0, len(s.resumable))
+	for _, hj := range s.resumable {
+		out = append(out, hj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // handleHello is the admission gate, invoked by the transport for every
@@ -221,12 +344,27 @@ func (s *RemoteSession) handleHello(payload []byte) []byte {
 	rejoin := st.generation > 0
 	st.addr = h.Advertise
 	st.joined = true
+	st.draining = false
 	st.lastSeen = time.Now()
 	st.generation++
 	generation := st.generation
+	st.held = make(map[string]map[int64]bool, len(h.Held))
+	for _, he := range h.Held {
+		set := make(map[int64]bool, len(he.Epochs))
+		for _, e := range he.Epochs {
+			set[e] = true
+		}
+		st.held[he.JobID] = set
+	}
+	// Raise the fencing token BEFORE installing the peer address: from this
+	// instant the previous holder of the slot is a zombie everywhere — the
+	// transport drops its frames, the masters drop its acks, the sinks
+	// refuse its commits.
+	s.fence.raise(slot, int64(generation))
+	s.net.FencePeer(slot, uint32(generation))
 	s.net.SetPeer(slot, h.Advertise)
 
-	peers := s.peerTableLocked()
+	peers, gens := s.peerTableLocked()
 	allJoined := true
 	for i := range s.slots {
 		if !s.slots[i].joined {
@@ -243,7 +381,7 @@ func (s *RemoteSession) handleHello(payload []byte) []byte {
 	s.mu.Unlock()
 
 	s.logf("worker %d joined from %s (generation %d)", slot, h.Advertise, generation)
-	s.broadcastTopology(peers)
+	s.broadcastTopology(peers, gens)
 	for _, meta := range restarts {
 		s.sendJobStart(slot, meta, true)
 		if rejoin {
@@ -254,10 +392,11 @@ func (s *RemoteSession) handleHello(payload []byte) []byte {
 		s.readyOnce.Do(func() { close(s.readyCh) })
 	}
 	return encodeWelcome(welcomeFrame{
-		OK:      true,
-		Node:    int32(slot),
-		Workers: int32(s.cfg.Workers),
-		Peers:   peers,
+		OK:         true,
+		Node:       int32(slot),
+		Workers:    int32(s.cfg.Workers),
+		Peers:      peers,
+		Generation: int64(generation),
 	})
 }
 
@@ -279,24 +418,29 @@ func (s *RemoteSession) pickSlotLocked() int {
 	return stalest
 }
 
-// peerTableLocked builds the dial-address table: workers 0..K-1, the
-// coordinator at K. Caller holds s.mu.
-func (s *RemoteSession) peerTableLocked() []string {
+// peerTableLocked builds the dial-address table and the matching slot
+// generations: workers 0..K-1, the coordinator at K (generation 0: the
+// coordinator is never fenced). Caller holds s.mu.
+func (s *RemoteSession) peerTableLocked() ([]string, []int64) {
 	peers := make([]string, s.cfg.Workers+1)
+	gens := make([]int64, s.cfg.Workers+1)
 	for i := range s.slots {
 		if s.slots[i].joined {
 			peers[i] = s.slots[i].addr
 		}
+		gens[i] = int64(s.slots[i].generation)
 	}
 	peers[s.cfg.Workers] = s.net.Addr()
-	return peers
+	return peers, gens
 }
 
-// broadcastTopology tells every joined worker the current peer table, so
-// live workers learn a replacement's address and sever their stale
-// connections to the dead process.
-func (s *RemoteSession) broadcastTopology(peers []string) {
-	payload := encodeCtrl(topologyMsg{Peers: peers})
+// broadcastTopology tells every joined worker the current peer table and
+// slot generations, so live workers learn a replacement's address, sever
+// their stale connections to the dead process, and raise their transport
+// fencing floor against it (a zombie's pull requests and task frames die
+// at every peer, not just at the coordinator).
+func (s *RemoteSession) broadcastTopology(peers []string, gens []int64) {
+	payload := encodeCtrl(topologyMsg{Peers: peers, Gens: gens})
 	for i, addr := range peers[:s.cfg.Workers] {
 		if addr != "" {
 			_ = s.ctl.Send(i, ctrlTopology, payload)
@@ -318,7 +462,12 @@ func (s *RemoteSession) sendJobStart(node int, meta *remoteJobMeta, resume bool)
 	}
 	if resume {
 		if man := meta.job.sink.manifestView(); man != nil {
-			for _, epoch := range man.epochs() {
+			epochs := man.epochs()
+			if pin := meta.resumeEpoch.Load(); pin != noEpoch {
+				// Full-session resume: every worker restores the same cut.
+				epochs = []int64{pin}
+			}
+			for _, epoch := range epochs {
 				crcs := man.crcsFor(epoch)
 				if node < len(crcs) {
 					m.Resume = append(m.Resume, resumeEpochRef{Epoch: epoch, CRC: crcs[node]})
@@ -344,6 +493,13 @@ func (s *RemoteSession) ctlLoop() {
 			if err := decodeCtrl(msg.Payload, &m); err != nil {
 				continue
 			}
+			if s.fence.stale(m.Worker, m.Gen) {
+				// A fenced-out process shipping a "final" result: its slot
+				// has been reclaimed, and its partial output must not
+				// supersede the replacement's.
+				s.traceFenced(m.Worker, m.Gen, ctrlJobResult)
+				continue
+			}
 			s.mu.Lock()
 			meta := s.byCh[m.Channel]
 			s.mu.Unlock()
@@ -351,16 +507,109 @@ func (s *RemoteSession) ctlLoop() {
 				meta.job.remote.deliver(&m)
 			}
 		case ctrlHeartbeat:
+			var m heartbeatMsg
+			if len(msg.Payload) > 0 {
+				if err := decodeCtrl(msg.Payload, &m); err != nil {
+					continue
+				}
+			}
 			s.mu.Lock()
 			if msg.From >= 0 && msg.From < len(s.slots) {
-				s.slots[msg.From].lastSeen = time.Now()
-				// A heartbeat proves the process behind the slot's address is
-				// alive; re-mark a slot the failure detector gave up on.
-				s.slots[msg.From].joined = true
+				st := &s.slots[msg.From]
+				switch {
+				case m.Gen == int64(st.generation):
+					st.lastSeen = time.Now()
+					// A heartbeat proves the process behind the slot's
+					// address is alive; re-mark a slot the failure detector
+					// gave up on. Only the CURRENT generation may do this —
+					// a delayed zombie's heartbeat re-marking the slot
+					// joined is exactly the split-brain fencing prevents.
+					st.joined = true
+					st.draining = m.Draining
+				case m.Gen < int64(st.generation):
+					s.mu.Unlock()
+					s.traceFenced(msg.From, m.Gen, ctrlHeartbeat)
+					continue
+				}
 			}
 			s.mu.Unlock()
+		case ctrlDrain:
+			var m drainMsg
+			if err := decodeCtrl(msg.Payload, &m); err != nil {
+				continue
+			}
+			if s.fence.stale(msg.From, m.Gen) {
+				s.traceFenced(msg.From, m.Gen, ctrlDrain)
+				continue
+			}
+			// The barrier wait can span seconds; never block the ctl loop
+			// (checkpoint acks ride the engine channels, but results and
+			// heartbeats ride this one).
+			go s.handleDrain(msg.From, m.Gen)
 		}
 	}
+}
+
+// traceFenced records a refused message from a fenced-out generation on
+// every live job's tracer (arg = generation << 8 | message type). Called
+// both from the control loop (app-level refusals) and the transport's
+// OnFenced hook (frames dropped before any decoder saw them).
+func (s *RemoteSession) traceFenced(from int, gen int64, typ uint8) {
+	key := gen<<8 | int64(typ)
+	if from >= 0 && from < len(s.fencedSeen) && s.fencedSeen[from].Swap(key) != key {
+		s.logf("fenced: dropped message type %d from worker %d generation %d (slot is at %d)",
+			typ, from, gen, s.fence.current(from))
+	}
+	s.mu.Lock()
+	metas := make([]*remoteJobMeta, 0, len(s.byCh))
+	for _, meta := range s.byCh {
+		metas = append(metas, meta)
+	}
+	s.mu.Unlock()
+	for _, meta := range metas {
+		meta.job.cfg.Tracer.Handle(from, trace.CompCheckpoint).Event(trace.EvFenced, uint64(gen)<<8|uint64(typ))
+	}
+}
+
+// handleDrain services one worker's SIGTERM drain request: mark the slot
+// draining, force a barrier checkpoint on every live checkpointing job,
+// wait for those epochs to commit, then tell the worker it may detach.
+// On timeout (a peer died mid-barrier, checkpointing disabled, ...) the
+// worker is released anyway — it has SIGTERM pending and holding it
+// hostage helps nobody; its jobs recover through the normal rejoin path.
+func (s *RemoteSession) handleDrain(node int, gen int64) {
+	s.mu.Lock()
+	if node >= 0 && node < len(s.slots) && int64(s.slots[node].generation) == gen {
+		s.slots[node].draining = true
+	}
+	type pending struct {
+		meta   *remoteJobMeta
+		before int64
+	}
+	waits := make([]pending, 0, len(s.byCh))
+	for _, meta := range s.byCh {
+		if meta.job.checkpointing() && !meta.job.Done() {
+			waits = append(waits, pending{meta: meta, before: meta.job.committedEpoch()})
+		}
+	}
+	s.mu.Unlock()
+
+	s.logf("worker %d draining (generation %d): forcing barrier checkpoint on %d job(s)", node, gen, len(waits))
+	for _, p := range waits {
+		p.meta.job.requestBarrier()
+	}
+	deadline := time.Now().Add(s.rcfg.ResultTimeout)
+	for _, p := range waits {
+		for p.meta.job.committedEpoch() <= p.before && !p.meta.job.Done() {
+			if time.Now().After(deadline) {
+				s.logf("worker %d drain: job %s barrier did not commit in time; releasing anyway", node, p.meta.id)
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	_ = s.ctl.Send(node, ctrlDrainOK, encodeCtrl(drainMsg{Gen: gen}))
+	s.logf("worker %d released to detach (generation %d)", node, gen)
 }
 
 // watchFailures marks worker slots the job's failure detector flagged as
@@ -432,6 +681,7 @@ func (s *RemoteSession) WorkerHealth() []WorkerStatus {
 			Addr:       s.slots[i].addr,
 			LastSeen:   s.slots[i].lastSeen,
 			Generation: s.slots[i].generation,
+			Draining:   s.slots[i].draining,
 		}
 	}
 	return out
@@ -461,6 +711,10 @@ func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 		return nil, fmt.Errorf("cluster: job id %q already running", id)
 	}
 	s.jobs[id] = nil
+	// A job whose ID matches a JOBSPEC+MANIFEST found at a `-resume` start
+	// restores from its committed epochs instead of starting fresh.
+	_, resumeJob := s.resumable[id]
+	delete(s.resumable, id)
 	s.mu.Unlock()
 
 	cfg := s.cfg
@@ -468,6 +722,7 @@ func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 	cfg.Tracer = opt.Tracer
 	cfg.RoundHook = opt.RoundHook
 	cfg.FailTimeout = s.rcfg.FailTimeout
+	cfg.Resume = resumeJob
 	// opt.MemBudgetBytes is not enforced here: the budget is charged from
 	// worker progress loops, which live in other processes. The serving
 	// layer's admission costing still applies.
@@ -494,12 +749,14 @@ func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 		partitionTime: s.partitionTime,
 		endpoints:     eps,
 		counters:      counters,
-		remote:        newRemoteJobState(cfg.Workers, s.rcfg.ResultTimeout),
+		fence:         s.fence,
+		remote:        remoteStateWithFence(cfg.Workers, s.rcfg.ResultTimeout, s.fence),
 		release: func() {
 			// Backstop: workers normally stop on the master's msgStop
 			// broadcast; tell them explicitly too, in case the engine frame
 			// was dropped on a severed connection.
 			s.mu.Lock()
+			j := s.jobs[id]
 			joined := make([]int, 0, cfg.Workers)
 			for i := range s.slots {
 				if s.slots[i].joined {
@@ -510,6 +767,12 @@ func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 			stop := encodeCtrl(jobStopMsg{Channel: ch})
 			for _, i := range joined {
 				_ = s.ctl.Send(i, ctrlJobStop, stop)
+			}
+			// The durable JOBSPEC outlives a coordinator shutdown (so
+			// `-resume` can rebuild the job) but not a normal completion or
+			// user cancel.
+			if cfg.CheckpointDir != "" && (j == nil || !errors.Is(j.Err(), errCoordinatorShutdown)) {
+				_ = os.Remove(filepath.Join(cfg.CheckpointDir, jobspecName))
 			}
 			s.mux.CloseChannel(ch)
 			s.forget(id, ch)
@@ -522,6 +785,15 @@ func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 		return nil, err
 	}
 	meta := &remoteJobMeta{channel: ch, id: id, spec: *opt.Spec, ckptEvery: cfg.CheckpointEvery, job: j}
+	meta.resumeEpoch.Store(noEpoch)
+	if cfg.CheckpointDir != "" {
+		// Persist the spec next to the MANIFEST so a restarted coordinator
+		// can rebuild and resume this job.
+		b, _ := json.Marshal(jobspecFile{ID: id, Spec: *opt.Spec, CheckpointEverySeconds: cfg.CheckpointEvery.Seconds()})
+		if err := writeFileDurable(filepath.Join(cfg.CheckpointDir, jobspecName), b); err != nil {
+			s.logf("job %s: persisting JOBSPEC failed: %v (job runs; coordinator resume will not cover it)", id, err)
+		}
+	}
 
 	s.mu.Lock()
 	s.jobs[id] = j
@@ -532,11 +804,38 @@ func (s *RemoteSession) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 			joined = append(joined, i)
 		}
 	}
+	if resumeJob {
+		// Pin the initial resume refs to the highest committed epoch every
+		// joined worker claims to hold, so the whole cluster restores one
+		// consistent cut (falling back to the manifest head if the held
+		// lists are inconclusive — the CRC check decides at restore).
+		if man := j.sink.manifestView(); man != nil {
+			pin := man.Epoch
+			for _, epoch := range man.epochs() {
+				all := true
+				for i := range s.slots {
+					if !s.slots[i].joined || !s.slots[i].held[id][epoch] {
+						all = false
+						break
+					}
+				}
+				if all {
+					pin = epoch
+					break
+				}
+			}
+			meta.resumeEpoch.Store(pin)
+		}
+	}
 	s.mu.Unlock()
 
 	go s.watchFailures(j)
 	for _, i := range joined {
-		s.sendJobStart(i, meta, false)
+		s.sendJobStart(i, meta, resumeJob)
+	}
+	if resumeJob {
+		meta.resumeEpoch.Store(noEpoch)
+		s.logf("job %s resumed from committed checkpoint (%d worker(s) started)", id, len(joined))
 	}
 	return j, nil
 }
@@ -578,9 +877,16 @@ func (s *RemoteSession) Addr() string { return s.net.Addr() }
 // worker process stayed unreachable past the redial budget.
 func (s *RemoteSession) DroppedMessages() int64 { return s.mux.Dropped() + s.net.Dropped() }
 
+// FencedFrames counts inbound frames the coordinator's transport refused
+// because their sender's generation had been fenced out — a zombie
+// predecessor provably cut off, not split-braining the cluster.
+func (s *RemoteSession) FencedFrames() int64 { return s.net.Fenced() }
+
 // Close cancels any running jobs, waits for their teardown, and shuts the
 // cluster transport down. Worker processes see their connections die and
-// exit on their own schedule.
+// exit on their own schedule. The cancellation is attributed to
+// coordinator shutdown, which keeps each job's durable JOBSPEC on disk: a
+// restarted coordinator with `-resume` rebuilds and resumes those jobs.
 func (s *RemoteSession) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -597,7 +903,7 @@ func (s *RemoteSession) Close() {
 	s.mu.Unlock()
 
 	for _, j := range live {
-		j.Cancel()
+		j.CancelCause(errCoordinatorShutdown)
 	}
 	for _, j := range live {
 		_, _ = j.Wait()

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gminer/internal/chaos"
 	"gminer/internal/core"
 	"gminer/internal/graph"
 	"gminer/internal/jobspec"
@@ -43,6 +46,10 @@ type WorkerOptions struct {
 	// Redial is the dial retry budget for worker → peer traffic; zero
 	// inherits the transport default (10s).
 	Redial transport.RedialPolicy
+	// HeartbeatChaos, when set, injects faults (drops, delays, dups) into
+	// this worker's heartbeat path only — the soak harness for "delayed
+	// but alive worker gets fenced, not split-brained".
+	HeartbeatChaos *chaos.Controller
 	// Logf, if non-nil, receives worker lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +100,18 @@ type WorkerProcess struct {
 	mux *transport.Mux
 	ctl transport.Endpoint
 
+	// generation is this process's fencing token, assigned by the
+	// coordinator's welcome: stamped on every transport frame, heartbeat,
+	// checkpoint ack, result message and checkpoint filename.
+	generation int64
+	// draining is set when the process received SIGTERM and is waiting for
+	// a barrier checkpoint to commit before detaching.
+	draining atomic.Bool
+	// drainOK is closed when the coordinator releases the process (its
+	// jobs' barrier epochs committed).
+	drainOK     chan struct{}
+	drainOKOnce sync.Once
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	ctlDone  chan struct{}  // closed when the control loop exits (transport down)
@@ -127,6 +146,7 @@ func StartWorkerProcess(g *graph.Graph, cfg Config, opt WorkerOptions) (*WorkerP
 		opt:     opt,
 		stopCh:  make(chan struct{}),
 		ctlDone: make(chan struct{}),
+		drainOK: make(chan struct{}),
 		jobs:    make(map[uint64]*workerJob),
 	}
 	wp.fingerprint = jobFingerprint(g, "session", cfg)
@@ -149,6 +169,7 @@ func StartWorkerProcess(g *graph.Graph, cfg Config, opt WorkerOptions) (*WorkerP
 		Node:        int32(opt.Node),
 		Fingerprint: wp.fingerprint,
 		Advertise:   wp.net.Addr(),
+		Held:        scanHeldEpochs(opt.CheckpointDir, opt.Node),
 	})
 	reply, err := transport.JoinCluster(opt.Coordinator, hello, 0,
 		transport.RedialPolicy{Budget: opt.JoinTimeout}, wp.stopCh)
@@ -170,13 +191,18 @@ func StartWorkerProcess(g *graph.Graph, cfg Config, opt WorkerOptions) (*WorkerP
 		return nil, fmt.Errorf("cluster: coordinator runs %d workers, this process is configured for %d", wf.Workers, cfg.Workers)
 	}
 	wp.node = int(wf.Node)
+	wp.generation = wf.Generation
 	wp.net.SetLocal(wp.node)
+	// Stamp every outgoing frame with this process's fencing token; if a
+	// later generation ever claims the slot, peers drop our traffic on
+	// arrival.
+	wp.net.SetGeneration(uint32(wf.Generation))
 	for i, addr := range wf.Peers {
 		if addr != "" && i != wp.node {
 			wp.net.SetPeer(i, addr)
 		}
 	}
-	wp.logf("joined %s as worker %d (listening on %s)", opt.Coordinator, wp.node, wp.net.Addr())
+	wp.logf("joined %s as worker %d (generation %d, listening on %s)", opt.Coordinator, wp.node, wp.generation, wp.net.Addr())
 
 	// The assignment is a pure function of (graph, workers, partitioner),
 	// so every process computes an identical one; only this node's vertex
@@ -208,8 +234,41 @@ func StartWorkerProcess(g *graph.Graph, cfg Config, opt WorkerOptions) (*WorkerP
 	return wp, nil
 }
 
+// scanHeldEpochs lists the checkpoint epochs this process holds local
+// snapshot files for, one heldEpochs entry per job subdirectory of root.
+// Only a process claiming an explicit slot can name its files (the node
+// index is part of the filename); auto-assigned workers send nothing.
+func scanHeldEpochs(root string, node int) []heldEpochs {
+	if root == "" || node < 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil
+	}
+	var held []heldEpochs
+	for _, e := range entries {
+		if !e.IsDir() || len(e.Name()) > maxHeldJobID {
+			continue
+		}
+		epochs := heldEpochsIn(filepath.Join(root, e.Name()), node)
+		if len(epochs) == 0 {
+			continue
+		}
+		held = append(held, heldEpochs{JobID: e.Name(), Epochs: epochs})
+		if len(held) == maxHeldJobs {
+			break
+		}
+	}
+	return held
+}
+
 // Node returns the slot the coordinator assigned this process.
 func (wp *WorkerProcess) Node() int { return wp.node }
+
+// Generation returns the fencing token the coordinator assigned this
+// process at admission.
+func (wp *WorkerProcess) Generation() int64 { return wp.generation }
 
 // Addr returns the address peers dial to reach this worker.
 func (wp *WorkerProcess) Addr() string { return wp.net.Addr() }
@@ -258,14 +317,38 @@ func (wp *WorkerProcess) ctlLoop() {
 					wp.net.SetPeer(i, addr)
 				}
 			}
+			// Raise the transport fencing floor for every peer slot: a
+			// zombie predecessor's pull requests and task frames die at
+			// this worker's doorstep, not in its engine.
+			for i, gen := range m.Gens {
+				if i != wp.node && gen > 0 {
+					wp.net.FencePeer(i, uint32(gen))
+				}
+			}
+		case ctrlDrainOK:
+			var m drainMsg
+			if err := decodeCtrl(msg.Payload, &m); err != nil {
+				continue
+			}
+			if m.Gen == wp.generation {
+				wp.drainOKOnce.Do(func() { close(wp.drainOK) })
+			}
 		}
 	}
 }
 
 // heartbeatLoop reports liveness to the coordinator for /healthz and slot
-// reclamation.
+// reclamation. Each beat carries this process's fencing generation (so a
+// delayed zombie's beat cannot re-mark a reclaimed slot as joined) and
+// its draining state. With HeartbeatChaos set, beats route through the
+// fault-injecting endpoint wrapper — drops and delays on this path are
+// exactly what the fencing soak exercises.
 func (wp *WorkerProcess) heartbeatLoop() {
 	defer wp.loopWg.Done()
+	ep := wp.ctl
+	if wp.opt.HeartbeatChaos != nil {
+		ep = wp.opt.HeartbeatChaos.Wrap(ep)
+	}
 	t := time.NewTicker(wp.opt.HeartbeatEvery)
 	defer t.Stop()
 	for {
@@ -273,7 +356,8 @@ func (wp *WorkerProcess) heartbeatLoop() {
 		case <-wp.stopCh:
 			return
 		case <-t.C:
-			_ = wp.ctl.Send(wp.cfg.Workers, ctrlHeartbeat, nil)
+			hb := encodeCtrl(heartbeatMsg{Gen: wp.generation, Draining: wp.draining.Load()})
+			_ = ep.Send(wp.cfg.Workers, ctrlHeartbeat, hb)
 		}
 	}
 }
@@ -335,7 +419,7 @@ func (wp *WorkerProcess) startJob(m *jobStartMsg) {
 	// resume=true keeps existing snapshot files (this is a rejoin after a
 	// crash; the refs below vouch for them). A fresh start clears leftovers
 	// from any previous job sharing the directory.
-	sink, err := newSnapshotSink(cfg.CheckpointDir, cfg.Workers, wp.fingerprint, len(m.Resume) > 0)
+	sink, err := newSnapshotSink(cfg.CheckpointDir, cfg.Workers, wp.fingerprint, wp.generation, len(m.Resume) > 0)
 	if err != nil {
 		wp.logf("job %s: checkpoint sink: %v", m.JobID, err)
 		return
@@ -409,6 +493,7 @@ func (wp *WorkerProcess) runJob(wj *workerJob) {
 			Worker:   wp.node,
 			Records:  wj.w.takeResults(),
 			Counters: wj.counters.Snapshot(),
+			Gen:      wp.generation,
 		}
 		if res.Records == nil {
 			res.Records = []string{}
@@ -424,6 +509,44 @@ func (wp *WorkerProcess) runJob(wj *workerJob) {
 	delete(wp.jobs, wj.channel)
 	wp.mu.Unlock()
 }
+
+// Drain performs the graceful-detach protocol (the SIGTERM path of a
+// rolling restart): enter the draining state, ask the coordinator to
+// force a barrier checkpoint across every live job, and wait until the
+// coordinator confirms those epochs committed (ctrlDrainOK). On return
+// the caller should Close(); the in-flight work is durable, and a
+// replacement process rejoining the slot resumes it from the barrier
+// epoch. Returns an error if the coordinator did not release the process
+// within the timeout (callers typically Close anyway — SIGTERM is not a
+// negotiation — accepting that un-checkpointed progress is redone).
+func (wp *WorkerProcess) Drain(timeout time.Duration) error {
+	wp.mu.Lock()
+	closed := wp.closed
+	wp.mu.Unlock()
+	if closed {
+		return nil
+	}
+	wp.draining.Store(true)
+	wp.logf("draining worker %d (generation %d): requesting barrier checkpoint", wp.node, wp.generation)
+	_ = wp.ctl.Send(wp.cfg.Workers, ctrlDrain, encodeCtrl(drainMsg{Gen: wp.generation}))
+	select {
+	case <-wp.drainOK:
+		wp.logf("drain complete: epochs committed, detaching")
+		return nil
+	case <-wp.ctlDone:
+		return fmt.Errorf("cluster: drain: control link to coordinator went down")
+	case <-time.After(timeout):
+		return fmt.Errorf("cluster: drain: coordinator did not release worker %d within %s", wp.node, timeout)
+	}
+}
+
+// Draining reports whether the process has entered the draining state.
+func (wp *WorkerProcess) Draining() bool { return wp.draining.Load() }
+
+// FencedFrames counts inbound frames this process's transport refused
+// because their sender's generation had been fenced out (a zombie
+// predecessor of some peer slot).
+func (wp *WorkerProcess) FencedFrames() int64 { return wp.net.Fenced() }
 
 // Kill simulates a machine crash for tests: every live engine worker dies
 // silently (nothing is flushed or shipped) and the process's transport

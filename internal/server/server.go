@@ -107,6 +107,15 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// SubmitJob enqueues a job through the same admission path as POST /jobs.
+// The daemon uses it to resubmit held jobs after a coordinator `-resume`
+// restart; keeping the IDs identical lets the cluster layer match each
+// job to its on-disk JOBSPEC + MANIFEST and restore instead of recompute.
+func (s *Server) SubmitJob(req JobRequest) error {
+	_, err := s.reg.submit(req)
+	return err
+}
+
 // InvalidateResultCache drops every cached result. Any future path that
 // replaces or mutates the resident graph must call it — the graph
 // fingerprint in the cache key already isolates graphs, so this is
@@ -268,6 +277,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 				"joined":     st.Joined,
 				"addr":       st.Addr,
 				"generation": st.Generation,
+				"draining":   st.Draining,
+			}
+			if !st.LastSeen.IsZero() {
+				ws[i]["heartbeat_age_seconds"] = time.Since(st.LastSeen).Seconds()
 			}
 			if !st.Joined {
 				allUp = false
@@ -368,6 +381,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				up = 1
 			}
 			fmt.Fprintf(w, "gminer_cluster_worker_up{node=\"%d\"} %d\n", st.Node, up)
+		}
+		fmt.Fprintf(w, "# HELP gminer_cluster_worker_generation Fencing generation of the process holding the slot (rises on every reclaim).\n# TYPE gminer_cluster_worker_generation gauge\n")
+		for _, st := range workers {
+			fmt.Fprintf(w, "gminer_cluster_worker_generation{node=\"%d\"} %d\n", st.Node, st.Generation)
+		}
+		fmt.Fprintf(w, "# HELP gminer_cluster_worker_heartbeat_age_seconds Time since the slot's last heartbeat.\n# TYPE gminer_cluster_worker_heartbeat_age_seconds gauge\n")
+		for _, st := range workers {
+			if !st.LastSeen.IsZero() {
+				fmt.Fprintf(w, "gminer_cluster_worker_heartbeat_age_seconds{node=\"%d\"} %s\n", st.Node, promFloat(time.Since(st.LastSeen).Seconds()))
+			}
+		}
+		fmt.Fprintf(w, "# HELP gminer_cluster_worker_draining Whether the slot's process is draining for a rolling restart.\n# TYPE gminer_cluster_worker_draining gauge\n")
+		for _, st := range workers {
+			d := 0
+			if st.Draining {
+				d = 1
+			}
+			fmt.Fprintf(w, "gminer_cluster_worker_draining{node=\"%d\"} %d\n", st.Node, d)
 		}
 	}
 

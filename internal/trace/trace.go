@@ -82,6 +82,11 @@ const (
 	EvCheckpointSkip // the pipeline would not quiesce before the deadline
 	EvRestoreFail    // a committed snapshot failed verification on restore
 
+	// Fencing (multi-process clusters). A message bearing a stale slot
+	// generation was refused — a zombie worker raced its replacement and
+	// lost. Arg = fenced generation << 8 | message type.
+	EvFenced
+
 	numEventTypes
 )
 
@@ -121,6 +126,7 @@ var eventNames = [numEventTypes]string{
 	EvCheckpointFail:  "checkpoint_fail",
 	EvCheckpointSkip:  "checkpoint_skip",
 	EvRestoreFail:     "restore_fail",
+	EvFenced:          "fenced",
 }
 
 // Component is the pipeline component an event belongs to; it becomes the

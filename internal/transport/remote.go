@@ -39,6 +39,11 @@ type RemoteConfig struct {
 	// connections (the coordinator's join handshake); the reply is written
 	// back as a FrameWelcome on the same connection. Nil drops hellos.
 	Hello func(payload []byte) []byte
+
+	// OnFenced, when set, is invoked (from the read loop) for every inbound
+	// frame refused because its generation is below the sender's fencing
+	// floor (FencePeer). Keep it fast.
+	OnFenced func(from int, typ uint8, gen, min uint32)
 }
 
 // RemoteNetwork is the multi-process sibling of TCPNetwork: where NewTCP
@@ -46,7 +51,16 @@ type RemoteConfig struct {
 // exactly ONE node and reaches the others through a peer address table
 // (SetPeer) over the same length-prefixed frame protocol:
 //
-//	[4B big-endian frame length][1B type][4B from][payload]
+//	[4B big-endian frame length][1B type][4B from][4B generation][payload]
+//
+// The generation field is the sender's fencing token: a cluster
+// coordinator assigns each admitted process a monotonically increasing
+// slot generation, the process stamps it on every outbound frame
+// (SetGeneration), and every receiver refuses frames from a node whose
+// generation fell below the fencing floor installed by FencePeer — so a
+// network-partitioned zombie process cannot ack, pull or push anything
+// once its replacement has been admitted. Generation 0 (the default) is
+// unfenced: single-process transports and handshake frames carry it.
 //
 // Sends are asynchronous: each peer has an unbounded outbound queue
 // drained by its own sender goroutine, so Send never blocks the caller on
@@ -63,6 +77,10 @@ type RemoteNetwork struct {
 
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	gen    atomic.Uint32   // fencing token stamped on outbound frames
+	floor  []atomic.Uint32 // per-sender minimum accepted generation
+	fenced atomic.Int64    // inbound frames refused as fenced
 
 	mu       sync.Mutex
 	peers    []*remotePeer
@@ -99,6 +117,7 @@ func NewRemote(cfg RemoteConfig) (*RemoteNetwork, error) {
 		ln:       ln,
 		box:      newMailbox(),
 		stop:     make(chan struct{}),
+		floor:    make([]atomic.Uint32, cfg.Nodes),
 		peers:    make([]*remotePeer, cfg.Nodes),
 		accepted: make(map[net.Conn]struct{}),
 	}
@@ -122,6 +141,35 @@ func (n *RemoteNetwork) LocalNode() int { return int(n.local.Load()) }
 // SetLocal records this process's node index once the join handshake has
 // assigned it.
 func (n *RemoteNetwork) SetLocal(node int) { n.local.Store(int32(node)) }
+
+// SetGeneration installs the fencing token this process stamps on every
+// outbound frame — the slot generation the coordinator assigned at
+// admission. 0 (the default) means unfenced.
+func (n *RemoteNetwork) SetGeneration(gen uint32) { n.gen.Store(gen) }
+
+// Generation returns the outbound fencing token.
+func (n *RemoteNetwork) Generation() uint32 { return n.gen.Load() }
+
+// FencePeer raises the fencing floor for frames claiming to come from
+// node: anything stamped with a generation below min is dropped by the
+// read loop (counted by Fenced, reported through OnFenced). The floor is
+// monotonic — a lower min than the current floor is ignored, so a
+// reordered topology update can never un-fence a zombie.
+func (n *RemoteNetwork) FencePeer(node int, min uint32) {
+	if node < 0 || node >= n.cfg.Nodes {
+		return
+	}
+	for {
+		cur := n.floor[node].Load()
+		if min <= cur || n.floor[node].CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// Fenced returns how many inbound frames were refused for carrying a
+// fenced-out generation.
+func (n *RemoteNetwork) Fenced() int64 { return n.fenced.Load() }
 
 // SetPeer installs (or replaces) the dial address for a peer node. A
 // change severs any cached connection so the sender redials the new
@@ -220,7 +268,7 @@ func (n *RemoteNetwork) readLoop(conn net.Conn) {
 			return
 		}
 		frameLen := binary.BigEndian.Uint32(hdr[:])
-		if frameLen < 5 || frameLen > 1<<30 {
+		if frameLen < frameHeader || frameLen > 1<<30 {
 			return
 		}
 		frame := make([]byte, frameLen)
@@ -229,6 +277,7 @@ func (n *RemoteNetwork) readLoop(conn net.Conn) {
 		}
 		typ := frame[0]
 		from := int(int32(binary.BigEndian.Uint32(frame[1:5])))
+		gen := binary.BigEndian.Uint32(frame[5:9])
 		switch typ {
 		case FrameHello:
 			h := n.cfg.Hello
@@ -236,7 +285,7 @@ func (n *RemoteNetwork) readLoop(conn net.Conn) {
 				n.dropped.Add(1)
 				continue
 			}
-			reply := buildFrame(FrameWelcome, n.LocalNode(), h(frame[5:]))
+			reply := buildFrame(FrameWelcome, n.LocalNode(), 0, h(frame[frameHeader:]))
 			_ = conn.SetWriteDeadline(time.Now().Add(n.cfg.Send))
 			if _, err := conn.Write(reply); err != nil {
 				return
@@ -247,7 +296,19 @@ func (n *RemoteNetwork) readLoop(conn net.Conn) {
 			// connection (JoinCluster); stray ones are dropped.
 			n.dropped.Add(1)
 		default:
-			n.box.push(Message{From: from, To: n.LocalNode(), Type: typ, Payload: frame[5:]}, time.Time{})
+			if from >= 0 && from < n.cfg.Nodes {
+				if min := n.floor[from].Load(); gen < min {
+					// A frame from a fenced-out generation: the sender was
+					// replaced after this frame was stamped. Refuse it — a
+					// zombie must not ack, pull or deliver anything.
+					n.fenced.Add(1)
+					if f := n.cfg.OnFenced; f != nil {
+						f(from, typ, gen, min)
+					}
+					continue
+				}
+			}
+			n.box.push(Message{From: from, To: n.LocalNode(), Type: typ, Payload: frame[frameHeader:]}, time.Time{})
 		}
 	}
 }
@@ -261,18 +322,23 @@ func (n *RemoteNetwork) send(to int, typ uint8, payload []byte) error {
 		n.box.push(Message{From: local, To: local, Type: typ, Payload: payload}, time.Time{})
 		return nil
 	}
-	n.peers[to].enqueue(buildFrame(typ, local, payload))
+	n.peers[to].enqueue(buildFrame(typ, local, n.gen.Load(), payload))
 	return nil
 }
 
+// frameHeader is the byte count of [type][from][generation] inside a
+// frame (the length prefix is not counted by the frame length either).
+const frameHeader = 9
+
 // buildFrame encodes one wire frame: length prefix, type, sender node,
-// payload.
-func buildFrame(typ uint8, from int, payload []byte) []byte {
-	frame := make([]byte, 4+5+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(5+len(payload)))
+// sender generation, payload.
+func buildFrame(typ uint8, from int, gen uint32, payload []byte) []byte {
+	frame := make([]byte, 4+frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(frameHeader+len(payload)))
 	frame[4] = typ
 	binary.BigEndian.PutUint32(frame[5:9], uint32(int32(from)))
-	copy(frame[9:], payload)
+	binary.BigEndian.PutUint32(frame[9:13], gen)
+	copy(frame[13:], payload)
 	return frame
 }
 
@@ -429,7 +495,7 @@ func JoinCluster(addr string, hello []byte, dialTimeout time.Duration, p RedialP
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
-	if _, err := conn.Write(buildFrame(FrameHello, -1, hello)); err != nil {
+	if _, err := conn.Write(buildFrame(FrameHello, -1, 0, hello)); err != nil {
 		return nil, fmt.Errorf("transport: join %s: send hello: %w", addr, err)
 	}
 	var hdr [4]byte
@@ -437,7 +503,7 @@ func JoinCluster(addr string, hello []byte, dialTimeout time.Duration, p RedialP
 		return nil, fmt.Errorf("transport: join %s: read welcome: %w", addr, err)
 	}
 	frameLen := binary.BigEndian.Uint32(hdr[:])
-	if frameLen < 5 || frameLen > helloReplyLimit {
+	if frameLen < frameHeader || frameLen > helloReplyLimit {
 		return nil, fmt.Errorf("transport: join %s: bad welcome frame length %d", addr, frameLen)
 	}
 	frame := make([]byte, frameLen)
@@ -447,5 +513,5 @@ func JoinCluster(addr string, hello []byte, dialTimeout time.Duration, p RedialP
 	if frame[0] != FrameWelcome {
 		return nil, fmt.Errorf("transport: join %s: expected welcome frame, got type %d", addr, frame[0])
 	}
-	return frame[5:], nil
+	return frame[frameHeader:], nil
 }

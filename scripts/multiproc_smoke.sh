@@ -14,6 +14,21 @@
 # single-shot run. KILL_INDEX defaults to 1; the chaos-nightly sweep runs
 # the script once per slot.
 #
+# Phase C: rolling restart. With the same checkpointing job shape running,
+# SIGTERMs every worker process in sequence — each drains (barrier
+# checkpoint, wait for the epoch to commit, detach), exits cleanly, and is
+# replaced by a fresh process re-admitted at the next slot generation —
+# and requires the job to complete byte-identically. ROLLING_DELAY (a
+# sleep inserted after the first epoch commits, default 0) lets the
+# chaos-nightly sweep land the first SIGTERM at varied points of the
+# checkpoint barrier window.
+#
+# Phase D: coordinator crash. SIGKILLs the whole cluster — coordinator
+# included — mid-job, restarts gminerd with -resume on the same checkpoint
+# directory, restarts the workers on their checkpoint directories, and
+# requires the held job to be resubmitted automatically and to finish
+# byte-identically.
+#
 # On failure (any failure: set -e + ERR trap), logs are copied to $LOGDIR
 # when set — CI uploads that directory as an artifact.
 set -euo pipefail
@@ -22,6 +37,7 @@ PRESET="${PRESET:-dblp-s}"
 SCALE="${SCALE:-0.5}"
 KILL_SCALE="${KILL_SCALE:-32}"
 KILL_INDEX="${KILL_INDEX:-1}"
+ROLLING_DELAY="${ROLLING_DELAY:-0}"
 PORT="${PORT:-17177}"
 CLUSTER_PORT="${CLUSTER_PORT:-17178}"
 ADDR="127.0.0.1:${PORT}"
@@ -198,5 +214,158 @@ diff "$DIR/kill.ref.txt" "$DIR/kill.served.txt" \
 grep -q "generation 2" "$DIR/coord-b.log" \
   || { echo "coordinator never re-admitted a generation-2 worker"; tail -40 "$DIR/coord-b.log"; exit 1; }
 echo "phase B OK: job survived a SIGKILLed worker process, records byte-identical"
+
+echo "== phase B: teardown"
+for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+PIDS=()
+
+echo "== phase C: rolling SIGTERM restart of every worker slot"
+mkdir -p "$DIR/coord-ckpt-c" "$DIR/wckpt-c"
+"$DIR/gminerd" -preset "$PRESET" -scale "$KILL_SCALE" \
+  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" -max-jobs 1 \
+  -cluster-listen "$CADDR" -checkpoint-dir "$DIR/coord-ckpt-c" \
+  > "$DIR/coord-c.log" 2>&1 &
+PIDS+=($!); disown $! 2>/dev/null || true
+WPIDS=()
+for i in $(seq 0 $((WORKERS - 1))); do
+  "$DIR/gminer-worker" -preset "$PRESET" -scale "$KILL_SCALE" \
+    -workers "$WORKERS" -threads "$THREADS" \
+    -coordinator "$CADDR" -node "$i" -checkpoint-dir "$DIR/wckpt-c/node-$i" \
+    > "$DIR/worker-c$i.log" 2>&1 &
+  WPIDS+=($!)
+  PIDS+=($!); disown $! 2>/dev/null || true
+done
+wait_healthy 300 || {
+  echo "phase C daemon never became healthy"
+  tail -40 "$DIR"/coord-c.log "$DIR"/worker-c*.log; exit 1;
+}
+curl -sf -X POST "http://$ADDR/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"app":"cd","id":"rolling","checkpoint_every_seconds":0.1}' >/dev/null
+deadline=$((SECONDS + 120))
+while [ ! -f "$DIR/coord-ckpt-c/rolling/MANIFEST" ]; do
+  state="$(curl -sf "http://$ADDR/jobs/rolling" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+  [ "$state" = done ] && { echo "job finished before a checkpoint committed; raise KILL_SCALE"; exit 1; }
+  [ "$SECONDS" -lt "$deadline" ] || { echo "no checkpoint within 120s"; exit 1; }
+  sleep 0.1
+done
+sleep "$ROLLING_DELAY"
+for i in $(seq 0 $((WORKERS - 1))); do
+  state="$(curl -sf "http://$ADDR/jobs/rolling" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+  [ "$state" = done ] && { echo "job finished before slot $i restarted; raise KILL_SCALE"; exit 1; }
+  kill -TERM "${WPIDS[$i]}"
+  # The worker drains: it requests a barrier checkpoint, waits for the
+  # epoch to commit, detaches, and only then exits. The pid is disowned,
+  # so `wait` would return immediately — poll for exit instead.
+  drain_deadline=$((SECONDS + 90))
+  while kill -0 "${WPIDS[$i]}" 2>/dev/null; do
+    [ "$SECONDS" -lt "$drain_deadline" ] || {
+      echo "worker $i never exited after SIGTERM"
+      tail -20 "$DIR/worker-c$i.log"; exit 1;
+    }
+    sleep 0.1
+  done
+  grep -q "drain complete" "$DIR/worker-c$i.log" \
+    || { echo "worker $i did not drain cleanly"; tail -20 "$DIR/worker-c$i.log"; exit 1; }
+  "$DIR/gminer-worker" -preset "$PRESET" -scale "$KILL_SCALE" \
+    -workers "$WORKERS" -threads "$THREADS" \
+    -coordinator "$CADDR" -node "$i" -checkpoint-dir "$DIR/wckpt-c/node-$i" \
+    > "$DIR/worker-c$i-replacement.log" 2>&1 &
+  WPIDS[$i]=$!
+  PIDS+=($!); disown $! 2>/dev/null || true
+  wait_healthy 300 || {
+    echo "slot $i replacement never rejoined"
+    tail -40 "$DIR"/coord-c.log "$DIR/worker-c$i-replacement.log"; exit 1;
+  }
+  echo "slot $i drained, detached and was replaced at the next generation"
+done
+state="$(await rolling)"
+[ "$state" = done ] || {
+  echo "rolling job ended $state"
+  tail -40 "$DIR"/coord-c.log "$DIR"/worker-c*.log; exit 1;
+}
+curl -sf "http://$ADDR/jobs/rolling/result?format=text" > "$DIR/rolling.served.txt"
+diff "$DIR/kill.ref.txt" "$DIR/rolling.served.txt" \
+  || { echo "records diverge after rolling restart"; exit 1; }
+grep -q "generation 2" "$DIR/coord-c.log" \
+  || { echo "coordinator never re-admitted a generation-2 worker"; tail -40 "$DIR/coord-c.log"; exit 1; }
+echo "phase C OK: job survived a rolling restart of every slot, records byte-identical"
+
+echo "== phase C: teardown"
+for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+PIDS=()
+
+echo "== phase D: coordinator crash + -resume"
+mkdir -p "$DIR/coord-ckpt-d" "$DIR/wckpt-d"
+"$DIR/gminerd" -preset "$PRESET" -scale "$KILL_SCALE" \
+  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" -max-jobs 1 \
+  -cluster-listen "$CADDR" -checkpoint-dir "$DIR/coord-ckpt-d" \
+  > "$DIR/coord-d.log" 2>&1 &
+COORD_PID=$!
+PIDS+=($COORD_PID); disown $COORD_PID 2>/dev/null || true
+WPIDS=()
+for i in $(seq 0 $((WORKERS - 1))); do
+  "$DIR/gminer-worker" -preset "$PRESET" -scale "$KILL_SCALE" \
+    -workers "$WORKERS" -threads "$THREADS" \
+    -coordinator "$CADDR" -node "$i" -checkpoint-dir "$DIR/wckpt-d/node-$i" \
+    > "$DIR/worker-d$i.log" 2>&1 &
+  WPIDS+=($!)
+  PIDS+=($!); disown $! 2>/dev/null || true
+done
+wait_healthy 300 || {
+  echo "phase D daemon never became healthy"
+  tail -40 "$DIR"/coord-d.log "$DIR"/worker-d*.log; exit 1;
+}
+curl -sf -X POST "http://$ADDR/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"app":"cd","id":"held","checkpoint_every_seconds":0.1}' >/dev/null
+deadline=$((SECONDS + 120))
+while [ ! -f "$DIR/coord-ckpt-d/held/MANIFEST" ]; do
+  state="$(curl -sf "http://$ADDR/jobs/held" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+  [ "$state" = done ] && { echo "job finished before a checkpoint committed; raise KILL_SCALE"; exit 1; }
+  [ "$SECONDS" -lt "$deadline" ] || { echo "no checkpoint within 120s"; exit 1; }
+  sleep 0.1
+done
+state="$(curl -sf "http://$ADDR/jobs/held" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')"
+[ "$state" = done ] && { echo "job finished before the coordinator crash; raise KILL_SCALE"; exit 1; }
+echo "SIGKILLing the whole cluster (coordinator pid $COORD_PID + workers) mid-job"
+for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+# The pids are disowned; poll for exit so the listen ports are free
+# before the restarted coordinator binds them.
+for pid in "${PIDS[@]}"; do
+  while kill -0 "$pid" 2>/dev/null; do sleep 0.05; done
+done
+PIDS=()
+
+echo "== phase D: restart coordinator with -resume, workers rejoin with held epochs"
+"$DIR/gminerd" -preset "$PRESET" -scale "$KILL_SCALE" \
+  -workers "$WORKERS" -threads "$THREADS" -addr "$ADDR" -max-jobs 1 \
+  -cluster-listen "$CADDR" -checkpoint-dir "$DIR/coord-ckpt-d" -resume \
+  > "$DIR/coord-d-resumed.log" 2>&1 &
+PIDS+=($!); disown $! 2>/dev/null || true
+for i in $(seq 0 $((WORKERS - 1))); do
+  "$DIR/gminer-worker" -preset "$PRESET" -scale "$KILL_SCALE" \
+    -workers "$WORKERS" -threads "$THREADS" \
+    -coordinator "$CADDR" -node "$i" -checkpoint-dir "$DIR/wckpt-d/node-$i" \
+    > "$DIR/worker-d$i-resumed.log" 2>&1 &
+  PIDS+=($!); disown $! 2>/dev/null || true
+done
+wait_healthy 300 || {
+  echo "resumed daemon never became healthy"
+  tail -40 "$DIR"/coord-d-resumed.log "$DIR"/worker-d*-resumed.log; exit 1;
+}
+state="$(await held)"
+[ "$state" = done ] || {
+  echo "resumed job ended $state"
+  tail -40 "$DIR"/coord-d-resumed.log "$DIR"/worker-d*-resumed.log; exit 1;
+}
+grep -q "resume: job held resubmitted" "$DIR/coord-d-resumed.log" \
+  || { echo "coordinator did not resubmit the held job"; tail -40 "$DIR/coord-d-resumed.log"; exit 1; }
+curl -sf "http://$ADDR/jobs/held/result?format=text" > "$DIR/held.served.txt"
+diff "$DIR/kill.ref.txt" "$DIR/held.served.txt" \
+  || { echo "records diverge after coordinator -resume"; exit 1; }
+echo "phase D OK: job survived a full-cluster crash + coordinator -resume, records byte-identical"
 
 echo "multiproc smoke: OK"

@@ -22,7 +22,7 @@
 //
 // Usage:
 //
-//	bench                            # small profile, seed 42, BENCH_PR8.json
+//	bench                            # small profile, seed 42, BENCH_PR10.json
 //	bench -profile ci -out bench.json
 //	bench -baseline BENCH_PR3.json -max-regress 0.20
 //
@@ -54,9 +54,11 @@ import (
 	"gminer/internal/cache"
 	"gminer/internal/cluster"
 	"gminer/internal/core"
+	"gminer/internal/dyngraph"
 	"gminer/internal/gen"
 	"gminer/internal/graph"
 	"gminer/internal/kernels"
+	"gminer/internal/partition"
 	"gminer/internal/plan"
 	"gminer/internal/trace"
 	"gminer/internal/wire"
@@ -76,6 +78,27 @@ type Report struct {
 	Kernels    KernelsRep `json:"kernels"`
 	Plans      []PlanRep  `json:"plans"`
 	Workloads  []WorkRep  `json:"workloads"`
+	Dyngraph   DynRep     `json:"dyngraph"`
+}
+
+// DynRep compares the dynamic session's incremental epoch apply
+// (block-aggregate maintenance + dirty-block re-placement + dirty-worker
+// table migration; the kernels CSR rebuilds lazily on the next launch)
+// against a full from-scratch prepare of the mutated graph (partition +
+// every worker table + CSR). ResultsIdentical confirms a triangle count
+// served from the warm mutated session equals one from the from-scratch
+// session at the final epoch — the differential gate, sampled.
+type DynRep struct {
+	Vertices           int     `json:"vertices"`
+	Edges              int64   `json:"edges"`
+	Workers            int     `json:"workers"`
+	Batches            int     `json:"batches"`
+	OpsPerBatch        int     `json:"ops_per_batch"`
+	IncrementalApplyMS float64 `json:"incremental_apply_ms"` // mean per epoch
+	FullPrepareMS      float64 `json:"full_prepare_ms"`      // mean per epoch
+	Speedup            float64 `json:"speedup"`
+	RebuiltWorkersMean float64 `json:"rebuilt_workers_mean"`
+	ResultsIdentical   bool    `json:"results_identical"`
 }
 
 // KernelsRep is the intersection-strategy sweep: for each operand-size
@@ -175,7 +198,7 @@ func main() {
 	var (
 		profile    = flag.String("profile", "small", "workload sizes: ci, small or full")
 		seed       = flag.Int64("seed", 42, "generator seed (fixed seed => reproducible graphs)")
-		out        = flag.String("out", "BENCH_PR8.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR10.json", "output JSON path")
 		baseline   = flag.String("baseline", "", "baseline JSON to compare against (empty = no check)")
 		maxRegress = flag.Float64("max-regress", 0.20, "max allowed triangle throughput regression vs baseline")
 		gate       = flag.Bool("gate", true, "enforce the PR acceptance thresholds (encode allocs, cache speedup)")
@@ -188,7 +211,7 @@ func main() {
 	}
 
 	rep := Report{
-		PR:         8,
+		PR:         10,
 		Profile:    *profile,
 		Seed:       *seed,
 		GoVersion:  runtime.Version(),
@@ -207,6 +230,9 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "bench: compiled plans vs generic exploration")
 	rep.Plans = benchPlans(pc, *seed)
+
+	fmt.Fprintln(os.Stderr, "bench: incremental epoch apply vs full re-prepare")
+	rep.Dyngraph = benchDyngraph(pc, *seed)
 
 	for _, wl := range []struct {
 		name  string
@@ -560,6 +586,84 @@ func benchPlans(pc profileCfg, seed int64) []PlanRep {
 // algorithm + partitioning), verifies the two runs are byte-identical,
 // and reports timing, throughput, allocations and per-phase percentiles
 // from the warm second run.
+// benchDyngraph replays a seeded mutation stream two ways: incrementally
+// on one warm dynamic session (ApplyMutations per batch), and from
+// scratch (a fresh NewSession over the replayed graph per batch, i.e.
+// what a static daemon would have to do: re-partition, rebuild every
+// worker table, rebuild the CSR). The means are comparable because both
+// sides process the identical batch sequence on the identical graph.
+func benchDyngraph(pc profileCfg, seed int64) DynRep {
+	const workers, batches = 4, 6
+	ops := int(pc.triEdges / 100)
+	if ops < 32 {
+		ops = 32
+	}
+	mk := func() *graph.Graph {
+		return gen.RMAT(gen.RMATConfig{Scale: pc.triScale, Edges: pc.triEdges, Seed: seed})
+	}
+	g := mk()
+	rep := DynRep{
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Workers:     workers,
+		Batches:     batches,
+		OpsPerBatch: ops,
+	}
+	dcfg := cluster.Config{Workers: workers, Threads: 2, Dynamic: true, Partitioner: partition.Blocked{}}
+	warm, err := cluster.NewSession(g, dcfg)
+	if err != nil {
+		fatalf("dyngraph: %v", err)
+	}
+	defer warm.Close()
+
+	stream := gen.Deltas(g, gen.DeltasConfig{Batches: batches, Ops: ops, Seed: seed + 5})
+	replay := mk()
+	var incTotal, fullTotal time.Duration
+	var rebuilt int
+	var fresh *cluster.Session
+	for _, b := range stream {
+		start := time.Now()
+		er, err := warm.ApplyMutations(b)
+		if err != nil {
+			fatalf("dyngraph apply: %v", err)
+		}
+		incTotal += time.Since(start)
+		rebuilt += len(er.RebuiltWorkers)
+
+		dyngraph.ApplyToGraph(replay, b)
+		if fresh != nil {
+			fresh.Close()
+		}
+		start = time.Now()
+		fresh, err = cluster.NewSession(replay, dcfg)
+		if err != nil {
+			fatalf("dyngraph fresh prepare: %v", err)
+		}
+		fullTotal += time.Since(start)
+	}
+	defer fresh.Close()
+
+	runTC := func(s *cluster.Session) any {
+		j, err := s.Launch(algo.NewTriangleCount(), cluster.JobOptions{})
+		if err != nil {
+			fatalf("dyngraph tc: %v", err)
+		}
+		res, err := j.Wait()
+		if err != nil {
+			fatalf("dyngraph tc: %v", err)
+		}
+		return res.AggGlobal
+	}
+	rep.ResultsIdentical = fmt.Sprintf("%v", runTC(warm)) == fmt.Sprintf("%v", runTC(fresh))
+	rep.IncrementalApplyMS = incTotal.Seconds() * 1000 / float64(batches)
+	rep.FullPrepareMS = fullTotal.Seconds() * 1000 / float64(batches)
+	if rep.IncrementalApplyMS > 0 {
+		rep.Speedup = rep.FullPrepareMS / rep.IncrementalApplyMS
+	}
+	rep.RebuiltWorkersMean = float64(rebuilt) / float64(batches)
+	return rep
+}
+
 func runWorkload(name string, g *graph.Graph, a core.Algorithm) (WorkRep, error) {
 	base := cluster.Config{
 		Workers:          4,
@@ -673,6 +777,21 @@ func checkGates(rep *Report) bool {
 			ok = false
 		}
 	}
+	// Incremental epoch apply must beat a full from-scratch prepare and
+	// must not change what the session computes. Both sides run the same
+	// batch sequence in-process, so the comparison holds on any core count.
+	if !rep.Dyngraph.ResultsIdentical {
+		fmt.Fprintln(os.Stderr, "bench: FAIL dyngraph gate: warm mutated session diverged from from-scratch prepare")
+		ok = false
+	}
+	if rep.Dyngraph.Speedup < 1 {
+		fmt.Fprintf(os.Stderr, "bench: FAIL dyngraph gate: incremental apply %.2fx full prepare < 1x\n",
+			rep.Dyngraph.Speedup)
+		ok = false
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: dyngraph gate: incremental apply %.1fx full prepare (%.2f ms -> %.2f ms per epoch)\n",
+			rep.Dyngraph.Speedup, rep.Dyngraph.FullPrepareMS, rep.Dyngraph.IncrementalApplyMS)
+	}
 	return ok
 }
 
@@ -753,6 +872,10 @@ func printSummary(rep *Report, out string) {
 			w.Name, w.Vertices, w.Edges, w.ElapsedMS, w.TasksDone, w.TasksPerSec, w.Agg, w.RunsIdentical)
 		fmt.Print(trace.FormatSummary(w.Phases))
 	}
+	d := rep.Dyngraph
+	fmt.Println("\ndynamic graph: incremental epoch apply vs full re-prepare:")
+	fmt.Printf("  |V|=%-6d |E|=%-7d %d batches x %d ops  apply=%6.2f ms  full=%6.2f ms  %5.1fx  rebuilt workers mean=%.1f identical=%v\n",
+		d.Vertices, d.Edges, d.Batches, d.OpsPerBatch, d.IncrementalApplyMS, d.FullPrepareMS, d.Speedup, d.RebuiltWorkersMean, d.ResultsIdentical)
 	fmt.Printf("\nwrote %s\n", out)
 }
 

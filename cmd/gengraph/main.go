@@ -6,9 +6,19 @@
 //	gengraph -preset orkut-s -o orkut.graph
 //	gengraph -type rmat -scale-exp 12 -edges 50000 -labels 7 -o g.graph
 //	gengraph -type community -communities 50 -o attributed.graph
+//
+// With -deltas N the tool emits, instead of the graph, a seeded mutation
+// stream derived from it: N JSON batch documents, one per line, in the
+// format POST /graph/mutations (and `gminer mutate`) consume. The stream
+// is a pure function of the graph and -delta-seed, so two runs with the
+// same flags replay identically.
+//
+//	gengraph -type er -vertices 2000 -edges 8000 -deltas 5 -o stream.ndjson
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +49,10 @@ func main() {
 		attrMax  = flag.Int("attr-max", 10, "attribute value range [1,attr-max]")
 		out      = flag.String("o", "", "output file (default stdout)")
 		statsFlg = flag.Bool("stats", false, "print Table-2 style statistics to stderr")
+
+		deltas    = flag.Int("deltas", 0, "emit a mutation stream of this many batches instead of the graph (NDJSON, one batch per line)")
+		deltaOps  = flag.Int("delta-ops", 32, "mutation ops per batch")
+		deltaSeed = flag.Int64("delta-seed", 1, "mutation stream seed (independent of -seed)")
 	)
 	flag.Parse()
 
@@ -97,6 +111,29 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	if *deltas > 0 {
+		// Mutation-stream mode: the graph built above is the stream's base;
+		// a daemon serving the SAME flags' graph replays these batches to
+		// reach the same epochs.
+		batches := gen.Deltas(g, gen.DeltasConfig{
+			Batches: *deltas,
+			Ops:     *deltaOps,
+			Seed:    *deltaSeed,
+		})
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		for _, b := range batches {
+			if err := enc.Encode(b); err != nil {
+				fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if err := graph.WriteText(w, g); err != nil {
 		fatal(err)
 	}

@@ -27,8 +27,12 @@ func runClient(cmd string, args []string) {
 		clientResult(args)
 	case "cancel":
 		clientCancel(args)
+	case "mutate":
+		clientMutate(args)
+	case "watch":
+		clientWatch(args)
 	default:
-		fatal(fmt.Errorf("unknown command %q (want submit, status, result or cancel)", cmd))
+		fatal(fmt.Errorf("unknown command %q (want submit, status, result, cancel, mutate or watch)", cmd))
 	}
 }
 
@@ -43,6 +47,9 @@ func clientSubmit(args []string) {
 		minSize = fs.Int("minsize", 4, "cd/gc/qc minimum community size")
 		split   = fs.Int("split", 0, "mcf recursive task split threshold (0=off)")
 		memCap  = fs.Int64("mem-budget", 0, "per-job memory budget in bytes (0: server default)")
+
+		standing = fs.Bool("standing", false, "subscribe to the dynamic graph: after the baseline, the job emits per-epoch match deltas (needs a -dynamic daemon; see 'gminer watch')")
+		epoch    = fs.Int64("epoch", 0, "pin the job to this graph epoch; the server rejects the submit with 409 if the graph has moved (0: any)")
 
 		tenant   = fs.String("tenant", "", "tenant this job bills to (empty: \"default\")")
 		priority = fs.Int("priority", 0, "scheduling weight within weighted-fair sharing, 1..16 (0: default 1)")
@@ -65,6 +72,8 @@ func clientSubmit(args []string) {
 			MinSim:          *minSim,
 			MinSize:         *minSize,
 			Split:           *split,
+			Standing:        *standing,
+			Epoch:           *epoch,
 			Tenant:          *tenant,
 			Priority:        *priority,
 			DeadlineSeconds: deadline.Seconds(),
@@ -86,14 +95,16 @@ func clientSubmit(args []string) {
 		return
 	}
 
-	for !terminalState(st.State) {
+	// A standing job never goes terminal on its own: -wait means "wait for
+	// the baseline", i.e. until it parks in the standing state.
+	for !terminalState(st.State) && st.State != server.StateStanding {
 		time.Sleep(*poll)
 		if err := doJSON(http.MethodGet, base(*addr)+"/jobs/"+st.ID, nil, &st); err != nil {
 			fatal(err)
 		}
 	}
 	printStatus(st)
-	if st.State != server.StateDone {
+	if st.State != server.StateDone && st.State != server.StateStanding {
 		os.Exit(1)
 	}
 	if *emit || *outPath != "" {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"gminer/internal/server"
+)
+
+// clientMutate streams mutation batches to a dynamic daemon: one JSON
+// batch document per input line (the format `gengraph -deltas` emits),
+// each POSTed as one epoch. With no -f it reads stdin, so
+//
+//	gengraph -deltas ... | gminer mutate -addr ...
+//
+// replays a generated mutation stream against a live daemon.
+func clientMutate(args []string) {
+	fs := flag.NewFlagSet("gminer mutate", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "http://127.0.0.1:7077", "gminerd base URL")
+		file = fs.String("f", "-", "batch stream file, one JSON batch per line (\"-\": stdin)")
+		raw  = fs.Bool("raw", false, "print each epoch's full MutationResult JSON instead of a summary line")
+	)
+	_ = fs.Parse(args)
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 8<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		body := bytes.TrimSpace(sc.Bytes())
+		if len(body) == 0 {
+			continue
+		}
+		resp, err := http.Post(base(*addr)+"/graph/mutations", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		rb := new(bytes.Buffer)
+		_, _ = rb.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("batch %d: %s: %s", line, resp.Status, strings.TrimSpace(rb.String())))
+		}
+		if *raw {
+			fmt.Println(strings.TrimSpace(rb.String()))
+			continue
+		}
+		var mr server.MutationResult
+		if err := json.Unmarshal(rb.Bytes(), &mr); err != nil {
+			fatal(fmt.Errorf("batch %d: bad response: %w", line, err))
+		}
+		fmt.Printf("epoch %d: +%de -%de +%dv -%dv (%d no-ops) dirty blocks %d moved %d rebuilt workers %v in %.3fs",
+			mr.Epoch, mr.Stats.EdgesAdded, mr.Stats.EdgesRemoved,
+			mr.Stats.VerticesAdded, mr.Stats.VerticesRemoved, mr.Stats.NoOps,
+			mr.DirtyBlocks, mr.MovedBlocks, mr.RebuiltWorkers, mr.ApplySeconds)
+		for _, d := range mr.Standing {
+			fmt.Printf("  %s: +%d -%d (%d matches", d.JobID, len(d.Added), len(d.Retracted), d.Matches)
+			if d.Aggregate != "" {
+				fmt.Printf(", aggregate %s", d.Aggregate)
+			}
+			if d.Incremental {
+				fmt.Printf(", incremental")
+			}
+			fmt.Printf(")")
+		}
+		fmt.Println()
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// clientWatch follows a standing job's delta stream. The default output
+// is one human line per document; -raw passes the NDJSON through
+// untouched (for piping into scripts that reconstruct the match set).
+func clientWatch(args []string) {
+	fs := flag.NewFlagSet("gminer watch", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "http://127.0.0.1:7077", "gminerd base URL")
+		raw  = fs.Bool("raw", false, "emit the NDJSON stream verbatim")
+	)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: gminer watch [-addr URL] [-raw] JOB_ID"))
+	}
+	resp, err := http.Get(base(*addr) + "/jobs/" + fs.Arg(0) + "/deltas")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b := new(bytes.Buffer)
+		_, _ = b.ReadFrom(resp.Body)
+		fatal(fmt.Errorf("watch %s: %s: %s", fs.Arg(0), resp.Status, strings.TrimSpace(b.String())))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 8<<20)
+	for sc.Scan() {
+		if *raw {
+			fmt.Println(sc.Text())
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+			fatal(fmt.Errorf("bad stream document: %w", err))
+		}
+		switch head.Type {
+		case "snapshot":
+			var s struct {
+				Epoch     int64    `json:"epoch"`
+				Records   []string `json:"records"`
+				Aggregate string   `json:"aggregate"`
+			}
+			_ = json.Unmarshal(sc.Bytes(), &s)
+			line := fmt.Sprintf("snapshot @ epoch %d: %d matches", s.Epoch, len(s.Records))
+			if s.Aggregate != "" {
+				line += fmt.Sprintf(", aggregate %s", s.Aggregate)
+			}
+			fmt.Println(line)
+		case "delta":
+			var d server.DeltaDoc
+			_ = json.Unmarshal(sc.Bytes(), &d)
+			line := fmt.Sprintf("epoch %d: +%d -%d -> %d matches", d.Epoch, len(d.Added), len(d.Retracted), d.Matches)
+			if d.Aggregate != "" {
+				line += fmt.Sprintf(", aggregate %s", d.Aggregate)
+			}
+			if d.Incremental {
+				line += " (incremental)"
+			}
+			fmt.Println(line)
+		default:
+			fmt.Println(sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}

@@ -42,7 +42,7 @@ func main() {
 	// byte-for-byte compatible.
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
-		case "submit", "status", "result", "cancel":
+		case "submit", "status", "result", "cancel", "mutate", "watch":
 			runClient(os.Args[1], os.Args[2:])
 			return
 		}
@@ -57,7 +57,7 @@ func main() {
 
 		workers = flag.Int("workers", 4, "number of workers")
 		threads = flag.Int("threads", 4, "computing threads per worker")
-		part    = flag.String("partitioner", "bdg", "partitioner: bdg, hash, skewed")
+		part    = flag.String("partitioner", "bdg", "partitioner: bdg, hash, skewed, blocked")
 		lsh     = flag.Bool("lsh", true, "enable the LSH task priority queue")
 		steal   = flag.Bool("steal", true, "enable task stealing")
 		useTCP  = flag.Bool("tcp", false, "run over loopback TCP instead of the in-process network")
@@ -132,6 +132,8 @@ func main() {
 		cfg.Partitioner = partition.Hash{}
 	case "skewed":
 		cfg.Partitioner = partition.Skewed{Bias: 0.6}
+	case "blocked":
+		cfg.Partitioner = partition.Blocked{}
 	default:
 		fatal(fmt.Errorf("unknown partitioner %q", *part))
 	}

@@ -38,7 +38,8 @@ func main() {
 
 		workers  = flag.Int("workers", 4, "number of workers")
 		threads  = flag.Int("threads", 4, "computing threads per worker")
-		part     = flag.String("partitioner", "bdg", "partitioner: bdg, hash, skewed")
+		part     = flag.String("partitioner", "bdg", "partitioner: bdg, hash, skewed, blocked")
+		dynamic  = flag.Bool("dynamic", false, "accept graph mutations (POST /graph/mutations) and standing queries; forces the blocked partitioner; single-process mode only")
 		lsh      = flag.Bool("lsh", true, "enable the LSH task priority queue")
 		steal    = flag.Bool("steal", true, "enable task stealing")
 		cacheCap = flag.Int("cache", 8192, "RCV cache capacity (vertices) per worker per job")
@@ -98,8 +99,24 @@ func main() {
 		ccfg.Partitioner = partition.Hash{}
 	case "skewed":
 		ccfg.Partitioner = partition.Skewed{Bias: 0.6}
+	case "blocked":
+		ccfg.Partitioner = partition.Blocked{}
 	default:
 		fatal(fmt.Errorf("unknown partitioner %q", *part))
+	}
+	if *dynamic {
+		// Mutations re-place only dirty blocks, which requires the
+		// decomposable block partitioner. Silently upgrading bdg would
+		// change results vs a static daemon, so say so.
+		if *clusterListen != "" {
+			fatal(fmt.Errorf("-dynamic requires single-process mode (the resident graph lives in this process)"))
+		}
+		if _, ok := ccfg.Partitioner.(partition.Blocked); !ok {
+			fmt.Printf("dynamic: overriding -partitioner %s with blocked (incremental re-placement needs decomposable blocks)\n", *part)
+			*part = "blocked"
+			ccfg.Partitioner = partition.Blocked{}
+		}
+		ccfg.Dynamic = true
 	}
 
 	fmt.Printf("graph: %s\n", graph.ComputeStats(datasetName(*graphPath, *preset), g))
@@ -157,6 +174,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("serving: http://%s (POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result, DELETE /jobs/{id}, /healthz, /metrics)\n", bound)
+	if *dynamic {
+		fmt.Printf("dynamic: POST /graph/mutations, GET /jobs/{id}/deltas (standing queries) enabled\n")
+	}
 
 	// -resume: resubmit every held job under its original ID. The cluster
 	// layer matches the ID to its JOBSPEC+MANIFEST directory and restores

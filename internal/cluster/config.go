@@ -112,6 +112,18 @@ type Config struct {
 	// Partitioner distributes vertices to workers; default BDG (§6.1).
 	Partitioner partition.Partitioner
 
+	// Dynamic enables graph mutations on a Session (ApplyMutations and
+	// the graph-epoch machinery). Requires the block-decomposable
+	// partition.Blocked partitioner — the only one whose incremental
+	// re-placement provably equals a from-scratch partition. Single-shot
+	// jobs and RemoteSessions reject it.
+	Dynamic bool
+	// GraphEpoch stamps the graph epoch a job runs at. Sessions set it at
+	// Launch; it folds into the job fingerprint so a checkpoint taken
+	// against one epoch can never resume against another shape of the
+	// graph, and the serving result cache dies with the epoch.
+	GraphEpoch int64
+
 	// Latency and BandwidthBps configure the simulated network.
 	Latency      time.Duration
 	BandwidthBps int64

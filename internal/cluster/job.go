@@ -74,6 +74,11 @@ type Job struct {
 	// release tears down transport state the job borrowed rather than owns
 	// (a Session's mux channel); called during Wait after the workers stop.
 	release func()
+	// retire runs at the very end of Wait's teardown, after the result —
+	// which still reads the shared graph — has been assembled. A dynamic
+	// Session drops the job's graph-epoch read lease here, so a pending
+	// mutation batch can only apply once no job is touching the graph.
+	retire func()
 
 	workers  []*Worker
 	workerMu sync.Mutex
@@ -129,6 +134,8 @@ type launchEnv struct {
 	// multi-process mode): the master and snapshot sink consult it to
 	// refuse checkpoint acks from fenced-out worker generations.
 	fence *fenceTable
+	// retire, see Job.retire.
+	retire func()
 }
 
 // remoteJobState gathers the per-worker results a multi-process job ships
@@ -230,6 +237,9 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 	if !g.Frozen() {
 		return nil, fmt.Errorf("cluster: graph must be frozen")
 	}
+	if cfg.Dynamic && env == nil {
+		return nil, fmt.Errorf("cluster: graph mutations need a warm Session (Config.Dynamic is meaningless for a single-shot job)")
+	}
 	j := &Job{cfg: cfg, g: g, algo: algo, failures: make(chan int, cfg.Workers)}
 
 	// Configure the kernel layer before any seeding: plan-capable
@@ -285,6 +295,7 @@ func startWithEnv(g *graph.Graph, algo core.Algorithm, cfg Config, env *launchEn
 	case env != nil && env.endpoints != nil:
 		endpoints = env.endpoints
 		j.release = env.release
+		j.retire = env.retire
 	case cfg.UseTCP:
 		tn, err := transport.NewTCP(nodes, j.counters)
 		if err != nil {
@@ -729,6 +740,9 @@ func (j *Job) Wait() (*Result, error) {
 			j.err = remoteErr
 		}
 		j.cancelMu.Unlock()
+		if j.retire != nil {
+			j.retire()
+		}
 	})
 	return j.result, j.err
 }

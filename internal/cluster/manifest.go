@@ -177,12 +177,14 @@ func decodeManifest(b []byte) (*manifest, error) {
 
 // jobFingerprint hashes everything a checkpoint's validity depends on: the
 // algorithm, the worker count, the partitioner (the vertex→worker
-// assignment must reproduce exactly on resume) and the graph structure.
+// assignment must reproduce exactly on resume), the graph epoch (a
+// dynamic session's graph mutates in place; epoch N snapshots must never
+// restore against epoch M structure) and the graph structure itself.
 // Two jobs with the same fingerprint generate the same seed tasks in the
 // same partitions, so one's snapshots are restorable by the other.
 func jobFingerprint(g *graph.Graph, algoName string, cfg Config) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%T|", algoName, cfg.Workers, cfg.Partitioner)
+	fmt.Fprintf(h, "%s|%d|%T|%d|", algoName, cfg.Workers, cfg.Partitioner, cfg.GraphEpoch)
 	var fold uint64
 	g.ForEach(func(v *graph.Vertex) bool {
 		fold = fold*0x100000001b3 + uint64(v.ID)*2654435761 + uint64(len(v.Adj))

@@ -199,6 +199,9 @@ func NewRemoteSession(g *graph.Graph, cfg Config, rcfg RemoteSessionConfig) (*Re
 	if cfg.Resume && cfg.CheckpointDir == "" {
 		return nil, fmt.Errorf("cluster: coordinator resume requires a checkpoint directory")
 	}
+	if cfg.Dynamic {
+		return nil, fmt.Errorf("cluster: remote sessions do not support graph mutations (run single-process for -dynamic)")
+	}
 
 	s := &RemoteSession{
 		g:          g,
@@ -869,6 +872,15 @@ func (s *RemoteSession) EdgeCut() float64 { return s.assign.EdgeCut(s.g) }
 // Fingerprint identifies the resident graph plus the session topology;
 // worker processes must present the same one to join.
 func (s *RemoteSession) Fingerprint() uint64 { return s.fingerprint }
+
+// GraphEpoch is always 0: a multi-process cluster's resident graph is
+// immutable (worker processes each hold their own copy; the dynamic
+// mutation path is in-process-session only).
+func (s *RemoteSession) GraphEpoch() int64 { return 0 }
+
+// WithGraphRead runs fn directly: with no mutation path, the resident
+// graph is always safe to read.
+func (s *RemoteSession) WithGraphRead(fn func()) { fn() }
 
 // Addr is the coordinator's cluster address (what workers dial to join).
 func (s *RemoteSession) Addr() string { return s.net.Addr() }

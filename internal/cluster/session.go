@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gminer/internal/core"
+	"gminer/internal/dyngraph"
 	"gminer/internal/graph"
 	"gminer/internal/jobspec"
 	"gminer/internal/kernels"
@@ -35,13 +37,26 @@ type Session struct {
 	// csr is the degree-ranked adjacency index compiled execution plans run
 	// on, built once at session start (like the partition and the vertex
 	// tables) and shared read-only by every job. Nil when the session
-	// config disables plans.
+	// config disables plans. On a dynamic session it is rebuilt lazily:
+	// the first Launch after a mutation epoch pays for it.
 	csr *kernels.CSR
 
 	net *transport.LocalNetwork
 	mux *transport.Mux
 
 	partitionTime time.Duration
+
+	// Dynamic-session state (nil dyn on a static session). epochMu is the
+	// graph-epoch lock: every job holds the read side from Launch until
+	// the end of its Wait teardown, and ApplyMutations takes the write
+	// side — so a mutation batch applies only when no job is touching the
+	// shared graph, assignment or local tables, and jobs always observe a
+	// whole epoch. epoch mirrors dyn.Epoch() for lock-free reads
+	// (/healthz, /metrics).
+	epochMu  sync.RWMutex
+	dyn      *dyngraph.State
+	epoch    atomic.Int64
+	csrEpoch int64 // epoch s.csr was built at (guarded by mu)
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -70,9 +85,24 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	s := &Session{g: g, cfg: cfg, jobs: make(map[string]*Job)}
 
 	pStart := time.Now()
-	assign, err := cfg.Partitioner.Partition(g, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: session partition: %w", err)
+	var assign *partition.Assignment
+	if cfg.Dynamic {
+		blocked, ok := cfg.Partitioner.(partition.Blocked)
+		if !ok {
+			return nil, fmt.Errorf("cluster: dynamic sessions require the blocked partitioner, not %q", cfg.Partitioner.Name())
+		}
+		st, err := dyngraph.NewState(g, cfg.Workers, blocked.Shift)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: session partition: %w", err)
+		}
+		s.dyn = st
+		assign = st.Assignment()
+	} else {
+		a, err := cfg.Partitioner.Partition(g, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: session partition: %w", err)
+		}
+		assign = a
 	}
 	s.partitionTime = time.Since(pStart)
 	s.assign = assign
@@ -83,10 +113,11 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	}
 
 	if !cfg.DisablePlans {
-		s.csr, err = kernels.Build(g)
+		csr, err := kernels.Build(g)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: session CSR index: %w", err)
 		}
+		s.csr = csr
 	}
 
 	nodes := cfg.Workers + 1
@@ -138,9 +169,15 @@ type JobOptions struct {
 // job's mux channel) and may Cancel it at any time without disturbing
 // co-resident jobs.
 func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
+	// Take the job's graph-epoch read lease first: from here until the end
+	// of the job's Wait teardown the resident graph cannot mutate under
+	// it. On a static session the lock is never contended.
+	s.epochMu.RLock()
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.epochMu.RUnlock()
 		return nil, fmt.Errorf("cluster: session closed")
 	}
 	s.nextCh++
@@ -151,6 +188,7 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 	}
 	if _, live := s.jobs[id]; live {
 		s.mu.Unlock()
+		s.epochMu.RUnlock()
 		return nil, fmt.Errorf("cluster: job id %q already running", id)
 	}
 	// Reserve the ID before dropping the lock so concurrent Launches with
@@ -158,8 +196,16 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 	s.jobs[id] = nil
 	s.mu.Unlock()
 
+	csr, err := s.ensureCSR()
+	if err != nil {
+		s.forget(id)
+		s.epochMu.RUnlock()
+		return nil, err
+	}
+
 	cfg := s.cfg
 	cfg.JobID = id
+	cfg.GraphEpoch = s.epoch.Load()
 	cfg.Tracer = opt.Tracer
 	cfg.RoundHook = opt.RoundHook
 	if opt.Spec != nil && opt.Spec.Generic {
@@ -185,6 +231,7 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 	eps, err := s.mux.Open(ch, counters, cfg.Tracer)
 	if err != nil {
 		s.forget(id)
+		s.epochMu.RUnlock()
 		return nil, err
 	}
 
@@ -194,16 +241,18 @@ func (s *Session) Launch(a core.Algorithm, opt JobOptions) (*Job, error) {
 		locals:        s.locals,
 		endpoints:     eps,
 		counters:      counters,
-		csr:           s.csr,
+		csr:           csr,
 		release: func() {
 			s.mux.CloseChannel(ch)
 			s.forget(id)
 		},
+		retire: s.epochMu.RUnlock,
 	}
 	j, err := startWithEnv(s.g, a, cfg, env)
 	if err != nil {
 		s.mux.CloseChannel(ch)
 		s.forget(id)
+		s.epochMu.RUnlock()
 		return nil, err
 	}
 	s.mu.Lock()
@@ -238,13 +287,127 @@ func (s *Session) PartitionTime() time.Duration { return s.partitionTime }
 
 // EdgeCut is the partitioning edge-cut fraction of the resident
 // assignment.
-func (s *Session) EdgeCut() float64 { return s.assign.EdgeCut(s.g) }
+func (s *Session) EdgeCut() float64 {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	return s.assign.EdgeCut(s.g)
+}
 
 // Fingerprint identifies the resident graph plus the session topology
 // (worker count, partitioner) — everything that, beyond the workload
 // spec itself, determines a job's output. The serving layer's result
-// cache keys on it so entries die with the graph they were computed on.
-func (s *Session) Fingerprint() uint64 { return jobFingerprint(s.g, "session", s.cfg) }
+// cache keys on it so entries die with the graph they were computed on;
+// on a dynamic session the current graph epoch folds in too.
+func (s *Session) Fingerprint() uint64 {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	cfg := s.cfg
+	cfg.GraphEpoch = s.epoch.Load()
+	return jobFingerprint(s.g, "session", cfg)
+}
+
+// Dynamic reports whether the session accepts mutations.
+func (s *Session) Dynamic() bool { return s.dyn != nil }
+
+// GraphEpoch returns the current graph epoch (0 = the loaded snapshot;
+// always 0 on a static session). Lock-free, safe from any goroutine.
+func (s *Session) GraphEpoch() int64 { return s.epoch.Load() }
+
+// WithGraphRead runs fn while holding a graph-epoch read lease: the
+// resident graph cannot mutate during fn. Control-plane reads of the
+// graph (spec validation against it, stats for health endpoints) go
+// through here on serving daemons; jobs get the same protection
+// implicitly from Launch.
+func (s *Session) WithGraphRead(fn func()) {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	fn()
+}
+
+// ensureCSR returns the CSR index for the current epoch, rebuilding it
+// if mutations landed since it was last compiled. Callers hold the
+// epoch read lease, so the epoch cannot advance during the rebuild.
+func (s *Session) ensureCSR() (*kernels.CSR, error) {
+	if s.cfg.DisablePlans {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dyn == nil {
+		return s.csr, nil
+	}
+	if ep := s.epoch.Load(); s.csr == nil || s.csrEpoch != ep {
+		csr, err := kernels.Build(s.g)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: session CSR rebuild: %w", err)
+		}
+		s.csr, s.csrEpoch = csr, ep
+	}
+	return s.csr, nil
+}
+
+// EpochResult reports what one applied mutation batch changed.
+type EpochResult struct {
+	// Epoch is the graph epoch after the batch.
+	Epoch int64
+	// Stats is what the batch did to the graph.
+	Stats dyngraph.ApplyStats
+	// DirtyBlocks is the number of partition blocks containing a
+	// structurally-changed vertex; MovedBlocks counts blocks whose owner
+	// changed under re-placement.
+	DirtyBlocks int
+	MovedBlocks int
+	// RebuiltWorkers lists the workers whose local vertex tables were
+	// migrated (rebuilt); the other workers' tables were provably
+	// untouched by the batch and survive as-is.
+	RebuiltWorkers []int
+	// ApplyTime is the wall time of the whole epoch apply (mutation +
+	// incremental re-placement + table migration), excluding any wait for
+	// running jobs to finish.
+	ApplyTime time.Duration
+}
+
+// ApplyMutations applies one batch to the resident graph, advancing the
+// graph epoch. It blocks until every running job has finished (jobs hold
+// epoch read leases), then mutates the graph in place, incrementally
+// re-places the partition blocks, and rebuilds only the local tables of
+// workers the batch actually touched. The CSR index is not rebuilt here —
+// the next Launch pays for it lazily.
+func (s *Session) ApplyMutations(b dyngraph.Batch) (*EpochResult, error) {
+	if s.dyn == nil {
+		return nil, fmt.Errorf("cluster: session is not dynamic (enable Config.Dynamic)")
+	}
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: session closed")
+	}
+	start := time.Now()
+	info, err := s.dyn.Apply(s.g, b)
+	if err != nil {
+		return nil, err
+	}
+	s.assign = s.dyn.Assignment()
+	var rebuilt []int
+	for w, dirty := range info.DirtyWorkers {
+		if dirty {
+			s.locals[w] = buildLocalTable(s.g, s.assign, w)
+			rebuilt = append(rebuilt, w)
+		}
+	}
+	s.epoch.Store(info.Epoch)
+	return &EpochResult{
+		Epoch:          info.Epoch,
+		Stats:          info.Stats,
+		DirtyBlocks:    info.DirtyBlocks,
+		MovedBlocks:    info.MovedBlocks,
+		RebuiltWorkers: rebuilt,
+		ApplyTime:      time.Since(start),
+	}, nil
+}
 
 // DroppedMessages counts stale wire messages the mux discarded (traffic
 // addressed to already-torn-down jobs).

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"gminer/internal/algo"
+	"gminer/internal/core"
+	"gminer/internal/dyngraph"
+	"gminer/internal/gen"
+	"gminer/internal/graph"
+	"gminer/internal/partition"
+)
+
+func dynConfig(workers int) Config {
+	return Config{
+		Workers:     workers,
+		Threads:     2,
+		Dynamic:     true,
+		Partitioner: partition.Blocked{Shift: 4},
+	}
+}
+
+// sameLocalTable compares two worker partition views byte for byte: same
+// scan order, same footprint, same vertex set with identical adjacency
+// and annotations.
+func sameLocalTable(t *testing.T, w int, a, b *localTable) {
+	t.Helper()
+	if !reflect.DeepEqual(a.ids, b.ids) {
+		t.Fatalf("worker %d: scan order diverged (%d vs %d ids)", w, len(a.ids), len(b.ids))
+	}
+	if a.footprint != b.footprint {
+		t.Fatalf("worker %d: footprint %d != %d", w, a.footprint, b.footprint)
+	}
+	if len(a.vertices) != len(b.vertices) {
+		t.Fatalf("worker %d: table size %d != %d", w, len(a.vertices), len(b.vertices))
+	}
+	for id, va := range a.vertices {
+		vb, ok := b.vertices[id]
+		if !ok {
+			t.Fatalf("worker %d: vertex %d missing from fresh table", w, id)
+		}
+		if !reflect.DeepEqual(va.Adj, vb.Adj) || va.Label != vb.Label || !reflect.DeepEqual(va.Attrs, vb.Attrs) {
+			t.Fatalf("worker %d: vertex %d contents diverged", w, id)
+		}
+	}
+}
+
+// TestDynamicSessionMatchesFreshPrepare is the warm-session half of the
+// incremental-repartitioning differential gate: after each mutation
+// batch, the warm session's incrementally migrated assignment and local
+// tables must be byte-identical to a from-scratch NewSession over a
+// replayed graph — and jobs served from the warm session must return the
+// byte-identical results.
+func TestDynamicSessionMatchesFreshPrepare(t *testing.T) {
+	const workers = 3
+	build := func() *graph.Graph { return gen.ErdosRenyi(400, 1600, 21) }
+
+	g := build()
+	s, err := NewSession(g, dynConfig(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	batches := gen.Deltas(g, gen.DeltasConfig{Batches: 3, Ops: 40, Seed: 13})
+	for bi, b := range batches {
+		epr, err := s.ApplyMutations(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if epr.Epoch != int64(bi+1) {
+			t.Fatalf("batch %d: epoch %d, want %d", bi, epr.Epoch, bi+1)
+		}
+
+		replay := build()
+		for _, pb := range batches[:bi+1] {
+			dyngraph.ApplyToGraph(replay, pb)
+		}
+		fresh, err := NewSession(replay, dynConfig(workers))
+		if err != nil {
+			t.Fatalf("batch %d: fresh session: %v", bi, err)
+		}
+
+		g.ForEach(func(v *graph.Vertex) bool {
+			if s.assign.Owner(v.ID) != fresh.assign.Owner(v.ID) {
+				t.Fatalf("batch %d: owner of %d diverged", bi, v.ID)
+			}
+			return true
+		})
+		for w := 0; w < workers; w++ {
+			sameLocalTable(t, w, s.locals[w], fresh.locals[w])
+		}
+
+		// Served results across the epoch boundary: warm == from-scratch.
+		warmTC, err := runOn(s, algo.NewTriangleCount())
+		if err != nil {
+			t.Fatalf("batch %d: warm tc: %v", bi, err)
+		}
+		freshTC, err := runOn(fresh, algo.NewTriangleCount())
+		if err != nil {
+			t.Fatalf("batch %d: fresh tc: %v", bi, err)
+		}
+		if !reflect.DeepEqual(warmTC.AggGlobal, freshTC.AggGlobal) {
+			t.Fatalf("batch %d: tc aggregate %v != %v", bi, warmTC.AggGlobal, freshTC.AggGlobal)
+		}
+		warmQC, err := runOn(s, algo.NewQuasiClique(0.8, 3))
+		if err != nil {
+			t.Fatalf("batch %d: warm qc: %v", bi, err)
+		}
+		freshQC, err := runOn(fresh, algo.NewQuasiClique(0.8, 3))
+		if err != nil {
+			t.Fatalf("batch %d: fresh qc: %v", bi, err)
+		}
+		if !reflect.DeepEqual(warmQC.Records, freshQC.Records) {
+			t.Fatalf("batch %d: qc records diverged (%d vs %d)", bi, len(warmQC.Records), len(freshQC.Records))
+		}
+		fresh.Close()
+	}
+}
+
+func runOn(s *Session, a core.Algorithm) (*Result, error) {
+	j, err := s.Launch(a, JobOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+func TestDynamicSessionEpochSemantics(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 3)
+	s, err := NewSession(g, dynConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fp0 := s.Fingerprint()
+	if s.GraphEpoch() != 0 || !s.Dynamic() {
+		t.Fatalf("fresh dynamic session: epoch %d dynamic %v", s.GraphEpoch(), s.Dynamic())
+	}
+	epr, err := s.ApplyMutations(dyngraph.Batch{Ops: []dyngraph.Mutation{{Op: dyngraph.OpAddEdge, U: 1, W: 50}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epr.Epoch != 1 || s.GraphEpoch() != 1 {
+		t.Fatalf("epoch after one batch: %d / %d", epr.Epoch, s.GraphEpoch())
+	}
+	if s.Fingerprint() == fp0 {
+		t.Fatal("fingerprint did not change with the graph epoch")
+	}
+
+	// Static sessions refuse mutations.
+	g2 := gen.ErdosRenyi(50, 100, 1)
+	static, err := NewSession(g2, Config{Workers: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer static.Close()
+	if static.Dynamic() {
+		t.Fatal("static session claims to be dynamic")
+	}
+	if _, err := static.ApplyMutations(dyngraph.Batch{Ops: []dyngraph.Mutation{{Op: dyngraph.OpDelEdge, U: 0, W: 1}}}); err == nil {
+		t.Fatal("static session accepted a mutation batch")
+	}
+
+	// Dynamic sessions require the blocked partitioner.
+	if _, err := NewSession(g2, Config{Workers: 2, Threads: 1, Dynamic: true}); err == nil {
+		t.Fatal("dynamic session accepted the default (non-decomposable) partitioner")
+	}
+}
+
+// TestDynamicSessionConcurrentJobsAndMutations races job launches against
+// mutation batches: every job must observe a whole epoch (no torn reads —
+// this test is what -race patrols), and the final state must equal a
+// replayed from-scratch prepare.
+func TestDynamicSessionConcurrentJobsAndMutations(t *testing.T) {
+	build := func() *graph.Graph { return gen.ErdosRenyi(300, 900, 5) }
+	g := build()
+	s, err := NewSession(g, dynConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	batches := gen.Deltas(g, gen.DeltasConfig{Batches: 3, Ops: 16, Seed: 2})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			j, err := s.Launch(algo.NewTriangleCount(), JobOptions{})
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if _, err := j.Wait(); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for bi, b := range batches {
+			if _, err := s.ApplyMutations(b); err != nil {
+				t.Errorf("batch %d: %v", bi, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s.GraphEpoch() != int64(len(batches)) {
+		t.Fatalf("final epoch %d, want %d", s.GraphEpoch(), len(batches))
+	}
+
+	replay := build()
+	for _, b := range batches {
+		dyngraph.ApplyToGraph(replay, b)
+	}
+	fresh, err := NewSession(replay, dynConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	warm, err := runOn(s, algo.NewTriangleCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := runOn(fresh, algo.NewTriangleCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.AggGlobal, ref.AggGlobal) {
+		t.Fatalf("post-churn tc aggregate %v != fresh %v", warm.AggGlobal, ref.AggGlobal)
+	}
+}

@@ -1,0 +1,49 @@
+package dyngraph
+
+import (
+	"bytes"
+	"testing"
+
+	"gminer/internal/graph"
+)
+
+// FuzzDecodeBatch hammers the mutation-batch decoder behind
+// POST /graph/mutations: any body must either produce a batch that passes
+// Validate and applies to a graph without breaking its invariants, or an
+// error — never a panic.
+func FuzzDecodeBatch(f *testing.F) {
+	seeds := []string{
+		`{"ops":[{"op":"add-edge","u":1,"w":2}]}`,
+		`{"ops":[{"op":"del-edge","u":0,"w":3},{"op":"del-vertex","id":3}]}`,
+		`{"ops":[{"op":"add-vertex","id":9,"label":3,"attrs":[1,2,3]}]}`,
+		`{"ops":[{"op":"add-vertex","id":-5},{"op":"add-edge","u":-5,"w":0}]}`,
+		`{"ops":[{"op":"add-edge","u":7,"w":7}]}`,
+		`{"ops":[{"op":"rm","id":1}]}`,
+		`{"ops":[]}`,
+		`{"ops":[{"op":"add-vertex","id":1,"label":-2}]}`,
+		`not json`,
+		``,
+		`{"ops":[{"op":"add-edge","u":9e18,"w":1}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := DecodeBatch(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		if verr := b.Validate(); verr != nil {
+			t.Fatalf("decoded batch fails Validate: %v (body %q)", verr, body)
+		}
+		g := graph.New(4)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		g.Freeze()
+		ApplyToGraph(g, b)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph invariants broken by decoded batch: %v (body %q)", err, body)
+		}
+	})
+}

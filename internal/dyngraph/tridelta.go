@@ -1,0 +1,48 @@
+package dyngraph
+
+import (
+	"gminer/internal/graph"
+)
+
+// TrianglesTouching counts the triangles of g that contain at least one
+// vertex from dirty, each triangle exactly once.
+//
+// This is the dirty-rooted exploration behind the incremental standing TC
+// path: a triangle's count can only change if one of its edges changed,
+// and every changed edge has an endpoint in the batch's DirtyIDs set — so
+//
+//	count(after) = count(before) − touching(before) + touching(after)
+//
+// evaluated over the same dirty set is exact, at the cost of exploring
+// only the 2-hop neighborhoods of dirty vertices instead of the graph.
+//
+// Deduplication: a triangle with several dirty vertices is counted at its
+// minimum dirty vertex only.
+func TrianglesTouching(g *graph.Graph, dirty []graph.VertexID) int64 {
+	ds := make(map[graph.VertexID]bool, len(dirty))
+	for _, d := range dirty {
+		if g.Has(d) {
+			ds[d] = true
+		}
+	}
+	var count int64
+	for d := range ds {
+		v := g.Vertex(d)
+		adj := v.Adj
+		for i, u := range adj {
+			if ds[u] && u < d {
+				continue // counted at the smaller dirty vertex u
+			}
+			vu := g.Vertex(u)
+			for _, w := range adj[i+1:] { // adjacency sorted → u < w
+				if ds[w] && w < d {
+					continue
+				}
+				if vu.HasNeighbor(w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

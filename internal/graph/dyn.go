@@ -1,0 +1,143 @@
+package graph
+
+import "sort"
+
+// Live mutation of a frozen graph.
+//
+// The Dyn* methods mutate a frozen graph in place while preserving every
+// Freeze/Validate invariant op by op: adjacency stays sorted, deduplicated,
+// symmetric and self-loop free. They exist for the dynamic-graph subsystem
+// (internal/dyngraph), which serializes them against running jobs at the
+// Session layer; the methods themselves are not concurrency safe.
+//
+// Vertex deletion tombstones the slot (verts[i] = nil) so that positions of
+// surviving vertices — and therefore insertion order, annotation assignment
+// and graph fingerprints — are untouched until DynCompact reclaims the
+// slots once per mutation batch.
+
+// adjInsert inserts id into a sorted adjacency list, reporting whether it
+// was absent.
+func adjInsert(adj []VertexID, id VertexID) ([]VertexID, bool) {
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= id })
+	if i < len(adj) && adj[i] == id {
+		return adj, false
+	}
+	adj = append(adj, 0)
+	copy(adj[i+1:], adj[i:])
+	adj[i] = id
+	return adj, true
+}
+
+// adjRemove removes id from a sorted adjacency list, reporting whether it
+// was present.
+func adjRemove(adj []VertexID, id VertexID) ([]VertexID, bool) {
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= id })
+	if i >= len(adj) || adj[i] != id {
+		return adj, false
+	}
+	return append(adj[:i], adj[i+1:]...), true
+}
+
+func (g *Graph) requireFrozen(op string) {
+	if !g.frozen {
+		panic("graph: " + op + " on unfrozen graph (use AddVertex/AddEdge before Freeze)")
+	}
+}
+
+// DynAddVertex inserts an isolated vertex with the given label and
+// attributes into a frozen graph. It reports whether the vertex was absent;
+// an existing vertex is left untouched (annotations are never rewritten by
+// the mutation path — they are fixed at creation, like Prepare fixes them
+// at load).
+func (g *Graph) DynAddVertex(id VertexID, label int32, attrs []int32) bool {
+	g.requireFrozen("DynAddVertex")
+	if _, ok := g.index[id]; ok {
+		return false
+	}
+	v := &Vertex{ID: id, Label: label}
+	if len(attrs) > 0 {
+		v.Attrs = append([]int32(nil), attrs...)
+	}
+	g.index[id] = len(g.verts)
+	g.verts = append(g.verts, v)
+	return true
+}
+
+// DynDelVertex removes vertex id and every edge incident to it, returning
+// the former neighbor list (callers maintaining edge aggregates need it).
+// The slot is tombstoned until DynCompact. Returns (nil, false) if the
+// vertex does not exist.
+func (g *Graph) DynDelVertex(id VertexID) ([]VertexID, bool) {
+	g.requireFrozen("DynDelVertex")
+	i, ok := g.index[id]
+	if !ok {
+		return nil, false
+	}
+	v := g.verts[i]
+	removed := append([]VertexID(nil), v.Adj...)
+	for _, nb := range removed {
+		w := g.Vertex(nb)
+		w.Adj, _ = adjRemove(w.Adj, id)
+	}
+	delete(g.index, id)
+	g.verts[i] = nil
+	g.dead++
+	return removed, true
+}
+
+// DynAddEdge inserts the undirected edge {u, w} between two existing
+// vertices of a frozen graph, reporting whether it was absent. Self-loops
+// and edges with a missing endpoint are rejected (no-op, false).
+func (g *Graph) DynAddEdge(u, w VertexID) bool {
+	g.requireFrozen("DynAddEdge")
+	if u == w {
+		return false
+	}
+	vu, vw := g.Vertex(u), g.Vertex(w)
+	if vu == nil || vw == nil {
+		return false
+	}
+	var added bool
+	if vu.Adj, added = adjInsert(vu.Adj, w); !added {
+		return false
+	}
+	vw.Adj, _ = adjInsert(vw.Adj, u)
+	return true
+}
+
+// DynDelEdge removes the undirected edge {u, w} from a frozen graph,
+// reporting whether it was present.
+func (g *Graph) DynDelEdge(u, w VertexID) bool {
+	g.requireFrozen("DynDelEdge")
+	vu, vw := g.Vertex(u), g.Vertex(w)
+	if vu == nil || vw == nil {
+		return false
+	}
+	var removed bool
+	if vu.Adj, removed = adjRemove(vu.Adj, w); !removed {
+		return false
+	}
+	vw.Adj, _ = adjRemove(vw.Adj, u)
+	return true
+}
+
+// DynCompact reclaims tombstoned slots left by DynDelVertex, preserving the
+// insertion order of surviving vertices. Cheap no-op when nothing is dead.
+func (g *Graph) DynCompact() {
+	if g.dead == 0 {
+		return
+	}
+	out := g.verts[:0]
+	for _, v := range g.verts {
+		if v == nil {
+			continue
+		}
+		g.index[v.ID] = len(out)
+		out = append(out, v)
+	}
+	for i := len(out); i < len(g.verts); i++ {
+		g.verts[i] = nil
+	}
+	g.verts = out
+	g.dead = 0
+}

@@ -57,33 +57,46 @@ func (v *Vertex) FootprintBytes() int64 {
 
 // Graph is an undirected (by default) graph. Edges are stored in both
 // endpoints' adjacency lists. The zero value is an empty graph ready to use.
+//
+// Vertices are heap-allocated individually so that *Vertex pointers handed
+// out by Vertex/VertexAt/ForEach stay valid across later vertex insertions
+// and deletions — the warm cluster Session's per-worker local tables hold
+// such pointers across graph epochs (see internal/dyngraph).
 type Graph struct {
-	verts []Vertex
+	verts []*Vertex
 	index map[VertexID]int
 
+	// dead counts tombstoned slots (verts[i] == nil) left by DynDelVertex
+	// until the next DynCompact.
+	dead int
+
 	// frozen is set once Freeze has sorted and deduplicated adjacency
-	// lists; mutating methods panic afterwards to catch misuse.
+	// lists; mutating methods panic afterwards to catch misuse. Live
+	// mutation of a frozen graph goes through the Dyn* methods, which
+	// preserve the frozen invariants op by op.
 	frozen bool
 }
 
 // New returns an empty graph with capacity hint n.
 func New(n int) *Graph {
 	return &Graph{
-		verts: make([]Vertex, 0, n),
+		verts: make([]*Vertex, 0, n),
 		index: make(map[VertexID]int, n),
 	}
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.verts) }
+func (g *Graph) NumVertices() int { return len(g.verts) - g.dead }
 
 // NumEdges returns |E| (each undirected edge counted once). Requires a
 // frozen graph for an exact count; on an unfrozen graph duplicates may be
 // double counted.
 func (g *Graph) NumEdges() int64 {
 	var total int64
-	for i := range g.verts {
-		total += int64(len(g.verts[i].Adj))
+	for _, v := range g.verts {
+		if v != nil {
+			total += int64(len(v.Adj))
+		}
 	}
 	return total / 2
 }
@@ -95,11 +108,12 @@ func (g *Graph) AddVertex(id VertexID) *Vertex {
 		panic("graph: AddVertex on frozen graph")
 	}
 	if i, ok := g.index[id]; ok {
-		return &g.verts[i]
+		return g.verts[i]
 	}
 	g.index[id] = len(g.verts)
-	g.verts = append(g.verts, Vertex{ID: id, Label: NoLabel})
-	return &g.verts[len(g.verts)-1]
+	v := &Vertex{ID: id, Label: NoLabel}
+	g.verts = append(g.verts, v)
+	return v
 }
 
 // AddEdge inserts the undirected edge {u, w}, creating endpoints as needed.
@@ -130,8 +144,8 @@ func (g *Graph) Freeze() {
 	if g.frozen {
 		return
 	}
-	for i := range g.verts {
-		adj := g.verts[i].Adj
+	for _, v := range g.verts {
+		adj := v.Adj
 		sort.Slice(adj, func(a, b int) bool { return adj[a] < adj[b] })
 		out := adj[:0]
 		var prev VertexID = -1
@@ -141,7 +155,7 @@ func (g *Graph) Freeze() {
 				prev = id
 			}
 		}
-		g.verts[i].Adj = out
+		v.Adj = out
 	}
 	g.frozen = true
 }
@@ -154,7 +168,7 @@ func (g *Graph) Frozen() bool { return g.frozen }
 // Freeze.
 func (g *Graph) Vertex(id VertexID) *Vertex {
 	if i, ok := g.index[id]; ok {
-		return &g.verts[i]
+		return g.verts[i]
 	}
 	return nil
 }
@@ -165,14 +179,18 @@ func (g *Graph) Has(id VertexID) bool {
 	return ok
 }
 
-// VertexAt returns the i-th vertex in insertion order.
-func (g *Graph) VertexAt(i int) *Vertex { return &g.verts[i] }
+// VertexAt returns the i-th vertex in insertion order. Between a
+// DynDelVertex and the next DynCompact it may return nil for tombstoned
+// slots.
+func (g *Graph) VertexAt(i int) *Vertex { return g.verts[i] }
 
 // IDs returns all vertex IDs in insertion order.
 func (g *Graph) IDs() []VertexID {
-	ids := make([]VertexID, len(g.verts))
-	for i := range g.verts {
-		ids[i] = g.verts[i].ID
+	ids := make([]VertexID, 0, len(g.verts))
+	for _, v := range g.verts {
+		if v != nil {
+			ids = append(ids, v.ID)
+		}
 	}
 	return ids
 }
@@ -180,8 +198,11 @@ func (g *Graph) IDs() []VertexID {
 // ForEach calls fn for every vertex in insertion order, stopping early if
 // fn returns false.
 func (g *Graph) ForEach(fn func(v *Vertex) bool) {
-	for i := range g.verts {
-		if !fn(&g.verts[i]) {
+	for _, v := range g.verts {
+		if v == nil {
+			continue
+		}
+		if !fn(v) {
 			return
 		}
 	}
@@ -190,8 +211,11 @@ func (g *Graph) ForEach(fn func(v *Vertex) bool) {
 // MaxDegree returns the maximum degree, or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for i := range g.verts {
-		if d := len(g.verts[i].Adj); d > max {
+	for _, v := range g.verts {
+		if v == nil {
+			continue
+		}
+		if d := len(v.Adj); d > max {
 			max = d
 		}
 	}
@@ -200,22 +224,28 @@ func (g *Graph) MaxDegree() int {
 
 // AvgDegree returns the average degree, or 0 for an empty graph.
 func (g *Graph) AvgDegree() float64 {
-	if len(g.verts) == 0 {
+	n := g.NumVertices()
+	if n == 0 {
 		return 0
 	}
 	var total int64
-	for i := range g.verts {
-		total += int64(len(g.verts[i].Adj))
+	for _, v := range g.verts {
+		if v != nil {
+			total += int64(len(v.Adj))
+		}
 	}
-	return float64(total) / float64(len(g.verts))
+	return float64(total) / float64(n)
 }
 
 // NumAttrs returns the size of the attribute universe: the max attribute
 // value + 1 across all vertices, or 0 if the graph is non-attributed.
 func (g *Graph) NumAttrs() int {
 	var max int32 = -1
-	for i := range g.verts {
-		for _, a := range g.verts[i].Attrs {
+	for _, v := range g.verts {
+		if v == nil {
+			continue
+		}
+		for _, a := range v.Attrs {
 			if a > max {
 				max = a
 			}
@@ -226,8 +256,8 @@ func (g *Graph) NumAttrs() int {
 
 // Attributed reports whether any vertex carries an attribute list.
 func (g *Graph) Attributed() bool {
-	for i := range g.verts {
-		if len(g.verts[i].Attrs) > 0 {
+	for _, v := range g.verts {
+		if v != nil && len(v.Attrs) > 0 {
 			return true
 		}
 	}
@@ -236,8 +266,8 @@ func (g *Graph) Attributed() bool {
 
 // Labeled reports whether any vertex carries a label.
 func (g *Graph) Labeled() bool {
-	for i := range g.verts {
-		if g.verts[i].Label != NoLabel {
+	for _, v := range g.verts {
+		if v != nil && v.Label != NoLabel {
 			return true
 		}
 	}
@@ -247,8 +277,10 @@ func (g *Graph) Labeled() bool {
 // FootprintBytes estimates the total in-memory size of the graph.
 func (g *Graph) FootprintBytes() int64 {
 	var total int64
-	for i := range g.verts {
-		total += g.verts[i].FootprintBytes()
+	for _, v := range g.verts {
+		if v != nil {
+			total += v.FootprintBytes()
+		}
 	}
 	return total
 }
@@ -259,8 +291,10 @@ func (g *Graph) Validate() error {
 	if !g.frozen {
 		return fmt.Errorf("graph: not frozen")
 	}
-	for i := range g.verts {
-		v := &g.verts[i]
+	for _, v := range g.verts {
+		if v == nil {
+			continue
+		}
 		for j, u := range v.Adj {
 			if j > 0 && v.Adj[j-1] >= u {
 				return fmt.Errorf("graph: vertex %d adjacency not sorted/unique at %d", v.ID, j)

@@ -45,6 +45,16 @@ type Spec struct {
 	// it: a differential comparison driven through the serving layer must
 	// observe two real executions, not one execution and a cache hit.
 	Generic bool `json:"generic,omitempty"`
+	// Standing subscribes the job to the dynamic graph: after the baseline
+	// run, the job stays resident and emits a delta (new/retracted
+	// matches) per graph epoch on GET /jobs/{id}/deltas. Requires a
+	// dynamic-enabled daemon. Standing results are never cache-served.
+	Standing bool `json:"standing,omitempty"`
+	// Epoch pins the job to a graph epoch: if > 0, the server rejects the
+	// submission unless the resident graph is at exactly this epoch — the
+	// optimistic-concurrency guard for clients that must not compute
+	// against a graph that mutated since they last looked. 0 accepts any.
+	Epoch int64 `json:"epoch,omitempty"`
 
 	// Serving-side QoS hints (internal/qos). They shape when and whether
 	// a job runs — never what it computes — so CacheKey excludes them.
@@ -115,8 +125,8 @@ func (s Spec) Normalize() Spec {
 // byte-identical results.
 func (s Spec) CacheKey() string {
 	n := s.Normalize()
-	return fmt.Sprintf("app=%s|labels=%d|pattern=%s|minsim=%g|minsize=%d|split=%d|seed=%d|generic=%t",
-		n.App, n.Labels, n.Pattern, n.MinSim, n.MinSize, n.Split, n.Seed, n.Generic)
+	return fmt.Sprintf("app=%s|labels=%d|pattern=%s|minsim=%g|minsize=%d|split=%d|seed=%d|generic=%t|standing=%t|epoch=%d",
+		n.App, n.Labels, n.Pattern, n.MinSim, n.MinSize, n.Split, n.Seed, n.Generic, n.Standing, n.Epoch)
 }
 
 // Validate checks the normalised spec without needing a graph.
@@ -168,6 +178,9 @@ func (s Spec) Validate() error {
 	}
 	if s.BudgetSeconds < 0 || math.IsInf(s.BudgetSeconds, 0) {
 		return fmt.Errorf("jobspec: budget_seconds %v outside [0, +inf)", s.BudgetSeconds)
+	}
+	if s.Epoch < 0 {
+		return fmt.Errorf("jobspec: epoch %d < 0", s.Epoch)
 	}
 	return nil
 }

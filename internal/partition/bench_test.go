@@ -1,16 +1,20 @@
-package partition
+// External test package: gen now (transitively, via dyngraph's mutation
+// batches) depends on partition, so an in-package test importing gen
+// would be an import cycle.
+package partition_test
 
 import (
 	"testing"
 
 	"gminer/internal/gen"
+	"gminer/internal/partition"
 )
 
 func BenchmarkHashPartition(b *testing.B) {
 	g := gen.RMAT(gen.RMATConfig{Scale: 12, Edges: 40000, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (Hash{}).Partition(g, 8); err != nil {
+		if _, err := (partition.Hash{}).Partition(g, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -20,7 +24,7 @@ func BenchmarkBDGPartition(b *testing.B) {
 	g := gen.RMAT(gen.RMATConfig{Scale: 12, Edges: 40000, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (BDG{Seed: int64(i)}).Partition(g, 8); err != nil {
+		if _, err := (partition.BDG{Seed: int64(i)}).Partition(g, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -28,7 +32,7 @@ func BenchmarkBDGPartition(b *testing.B) {
 
 func BenchmarkEdgeCut(b *testing.B) {
 	g := gen.RMAT(gen.RMATConfig{Scale: 12, Edges: 40000, Seed: 1})
-	a, _ := BDG{}.Partition(g, 8)
+	a, _ := partition.BDG{}.Partition(g, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = a.EdgeCut(g)

@@ -18,13 +18,30 @@ import (
 )
 
 // Assignment maps every vertex to its owning worker in [0, K).
+//
+// Two representations back it: a per-vertex owner map (Hash, Skewed, BDG)
+// or a per-block owner map plus a block shift (Blocked) — the block form is
+// O(#blocks) to rebuild, which is what makes incremental repartitioning
+// under graph mutations cheap (see internal/dyngraph).
 type Assignment struct {
 	K     int
 	owner map[graph.VertexID]int
+
+	// Block-backed form: owner of block (id >> blockShift). Exactly one of
+	// owner / blockOwner is non-nil.
+	blockOwner map[int64]int
+	blockShift uint
+	blockSizes []int // per-worker vertex counts, precomputed by Assign
 }
 
 // Owner returns the worker owning id; -1 if unknown.
 func (a *Assignment) Owner(id graph.VertexID) int {
+	if a.blockOwner != nil {
+		if w, ok := a.blockOwner[int64(id)>>a.blockShift]; ok {
+			return w
+		}
+		return -1
+	}
 	if w, ok := a.owner[id]; ok {
 		return w
 	}
@@ -33,12 +50,26 @@ func (a *Assignment) Owner(id graph.VertexID) int {
 
 // Sizes returns the number of vertices per worker.
 func (a *Assignment) Sizes() []int {
+	if a.blockSizes != nil {
+		return append([]int(nil), a.blockSizes...)
+	}
 	sizes := make([]int, a.K)
 	for _, w := range a.owner {
 		sizes[w]++
 	}
 	return sizes
 }
+
+// BlockShift returns the block shift of a block-backed assignment, or
+// (0, false) for a vertex-backed one.
+func (a *Assignment) BlockShift() (uint, bool) {
+	return a.blockShift, a.blockOwner != nil
+}
+
+// BlockOwners returns the block→worker map of a block-backed assignment
+// (nil for a vertex-backed one). The map is shared, not copied: callers
+// must treat it as read-only.
+func (a *Assignment) BlockOwners() map[int64]int { return a.blockOwner }
 
 // EdgeCut returns the fraction of edges whose endpoints live on different
 // workers — the locality measure BDG optimizes.
@@ -48,7 +79,7 @@ func (a *Assignment) EdgeCut(g *graph.Graph) float64 {
 		for _, n := range v.Adj {
 			if n > v.ID { // count each undirected edge once
 				total++
-				if a.owner[v.ID] != a.owner[n] {
+				if a.Owner(v.ID) != a.Owner(n) {
 					cut++
 				}
 			}
@@ -65,7 +96,7 @@ func (a *Assignment) EdgeCut(g *graph.Graph) float64 {
 func (a *Assignment) Local(g *graph.Graph, w int) []graph.VertexID {
 	var out []graph.VertexID
 	g.ForEach(func(v *graph.Vertex) bool {
-		if a.owner[v.ID] == w {
+		if a.Owner(v.ID) == w {
 			out = append(out, v.ID)
 		}
 		return true
@@ -77,8 +108,7 @@ func (a *Assignment) Local(g *graph.Graph, w int) []graph.VertexID {
 func (a *Assignment) Validate(g *graph.Graph) error {
 	bad := 0
 	g.ForEach(func(v *graph.Vertex) bool {
-		w, ok := a.owner[v.ID]
-		if !ok || w < 0 || w >= a.K {
+		if w := a.Owner(v.ID); w < 0 || w >= a.K {
 			bad++
 		}
 		return true

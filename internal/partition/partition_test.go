@@ -1,4 +1,4 @@
-package partition
+package partition_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 
 	"gminer/internal/gen"
 	"gminer/internal/graph"
+	"gminer/internal/partition"
 )
 
 func testGraph() *graph.Graph {
@@ -14,7 +15,7 @@ func testGraph() *graph.Graph {
 
 func TestHashCoversAllVertices(t *testing.T) {
 	g := testGraph()
-	a, err := Hash{}.Partition(g, 4)
+	a, err := partition.Hash{}.Partition(g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestHashCoversAllVertices(t *testing.T) {
 
 func TestHashBalance(t *testing.T) {
 	g := testGraph()
-	a, _ := Hash{}.Partition(g, 4)
+	a, _ := partition.Hash{}.Partition(g, 4)
 	sizes := a.Sizes()
 	fair := g.NumVertices() / 4
 	for i, s := range sizes {
@@ -37,7 +38,7 @@ func TestHashBalance(t *testing.T) {
 
 func TestBDGCoversAllVertices(t *testing.T) {
 	g := testGraph()
-	a, err := BDG{Seed: 1}.Partition(g, 4)
+	a, err := partition.BDG{Seed: 1}.Partition(g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestBDGCoversAllVertices(t *testing.T) {
 
 func TestBDGBalance(t *testing.T) {
 	g := testGraph()
-	a, _ := BDG{Seed: 1}.Partition(g, 4)
+	a, _ := partition.BDG{Seed: 1}.Partition(g, 4)
 	sizes := a.Sizes()
 	fair := g.NumVertices() / 4
 	for i, s := range sizes {
-		// BDG trades some balance for locality; allow 3x fair share.
+		// partition.BDG trades some balance for locality; allow 3x fair share.
 		if s > 3*fair {
 			t.Fatalf("partition %d holds %d of fair %d", i, s, fair)
 		}
@@ -63,17 +64,17 @@ func TestBDGBeatsHashOnEdgeCut(t *testing.T) {
 	// The point of §6.1: block-preserving assignment cuts fewer edges
 	// than random hashing, which is what reduces remote pulls (Fig. 11).
 	g := testGraph()
-	hashA, _ := Hash{}.Partition(g, 4)
-	bdgA, _ := BDG{Seed: 1}.Partition(g, 4)
+	hashA, _ := partition.Hash{}.Partition(g, 4)
+	bdgA, _ := partition.BDG{Seed: 1}.Partition(g, 4)
 	hc := hashA.EdgeCut(g)
 	bc := bdgA.EdgeCut(g)
 	if bc >= hc {
-		t.Fatalf("BDG cut %.3f not better than hash cut %.3f", bc, hc)
+		t.Fatalf("partition.BDG cut %.3f not better than hash cut %.3f", bc, hc)
 	}
 }
 
 func TestBDGHandlesDisconnectedComponents(t *testing.T) {
-	// Many tiny components exercise the Hash-Min CC fallback.
+	// Many tiny components exercise the partition.Hash-Min CC fallback.
 	g := graph.New(300)
 	for i := 0; i < 100; i++ {
 		base := graph.VertexID(i * 3)
@@ -81,7 +82,7 @@ func TestBDGHandlesDisconnectedComponents(t *testing.T) {
 		g.AddEdge(base+1, base+2)
 	}
 	g.Freeze()
-	a, err := BDG{Steps: 1, SourceFrac: 0.001, MaxRounds: 2, Seed: 5}.Partition(g, 4)
+	a, err := partition.BDG{Steps: 1, SourceFrac: 0.001, MaxRounds: 2, Seed: 5}.Partition(g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestBDGHandlesDisconnectedComponents(t *testing.T) {
 
 func TestSkewedBias(t *testing.T) {
 	g := testGraph()
-	a, err := Skewed{Bias: 0.7}.Partition(g, 4)
+	a, err := partition.Skewed{Bias: 0.7}.Partition(g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestSkewedBias(t *testing.T) {
 
 func TestSingleWorker(t *testing.T) {
 	g := testGraph()
-	for _, p := range []Partitioner{Hash{}, BDG{Seed: 2}, Skewed{Bias: 0.5}} {
+	for _, p := range []partition.Partitioner{partition.Hash{}, partition.BDG{Seed: 2}, partition.Skewed{Bias: 0.5}} {
 		a, err := p.Partition(g, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
@@ -125,7 +126,7 @@ func TestSingleWorker(t *testing.T) {
 
 func TestInvalidK(t *testing.T) {
 	g := testGraph()
-	for _, p := range []Partitioner{Hash{}, BDG{}, Skewed{}} {
+	for _, p := range []partition.Partitioner{partition.Hash{}, partition.BDG{}, partition.Skewed{}} {
 		if _, err := p.Partition(g, 0); err == nil {
 			t.Fatalf("%s: expected error for k=0", p.Name())
 		}
@@ -135,7 +136,7 @@ func TestInvalidK(t *testing.T) {
 func TestEmptyGraph(t *testing.T) {
 	g := graph.New(0)
 	g.Freeze()
-	a, err := BDG{}.Partition(g, 3)
+	a, err := partition.BDG{}.Partition(g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestEmptyGraph(t *testing.T) {
 
 func TestOwnerUnknown(t *testing.T) {
 	g := testGraph()
-	a, _ := Hash{}.Partition(g, 2)
+	a, _ := partition.Hash{}.Partition(g, 2)
 	if a.Owner(graph.VertexID(1<<40)) != -1 {
 		t.Fatal("unknown vertex should map to -1")
 	}
@@ -163,7 +164,7 @@ func TestQuickAssignmentsComplete(t *testing.T) {
 		}
 		g.AddVertex(200) // isolated
 		g.Freeze()
-		for _, p := range []Partitioner{Hash{}, BDG{Seed: int64(k8)}} {
+		for _, p := range []partition.Partitioner{partition.Hash{}, partition.BDG{Seed: int64(k8)}} {
 			a, err := p.Partition(g, k)
 			if err != nil || a.Validate(g) != nil {
 				return false

@@ -6,11 +6,17 @@ import (
 )
 
 // CacheKey identifies one cacheable workload: the resident graph's
-// fingerprint plus the canonical form of the workload spec
+// fingerprint and epoch plus the canonical form of the workload spec
 // (jobspec.Spec.CacheKey — QoS hints excluded, because tenant, priority
 // and deadlines change when a job runs, never what it computes).
+//
+// Epoch is the graph epoch the result was computed at. The fingerprint of
+// a dynamic session already folds the epoch in, but the key carries it
+// explicitly too: a cached result can never survive a mutation even if a
+// fingerprint is computed lazily or stamped before the epoch advanced.
 type CacheKey struct {
 	Fingerprint uint64
+	Epoch       int64
 	Spec        string
 }
 

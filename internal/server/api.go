@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"gminer/internal/dyngraph"
 	"gminer/internal/jobspec"
 	"gminer/internal/trace"
 )
@@ -71,7 +72,7 @@ func decodeJobRequest(body []byte) (JobRequest, error) {
 type JobStatus struct {
 	ID        string       `json:"id"`
 	App       string       `json:"app"`
-	State     string       `json:"state"` // queued | running | done | failed | cancelled | preempted | shed
+	State     string       `json:"state"` // queued | running | standing | done | failed | cancelled | preempted | shed
 	Error     string       `json:"error,omitempty"`
 	Submitted time.Time    `json:"submitted"`
 	Started   *time.Time   `json:"started,omitempty"`
@@ -85,9 +86,14 @@ type JobStatus struct {
 	// once no longer queued). CostSeconds is the measured compute spend
 	// (terminal jobs); CostEstimateSeconds the meter's admission-time
 	// price.
-	Tenant              string  `json:"tenant,omitempty"`
-	Priority            int     `json:"priority,omitempty"`
-	Cached              bool    `json:"cached,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	// GraphEpoch is the graph epoch the job computed against (rolls
+	// forward with each delta round for standing jobs). DeltaRounds counts
+	// a standing job's completed per-epoch rounds.
+	GraphEpoch          int64   `json:"graph_epoch"`
+	DeltaRounds         int     `json:"delta_rounds,omitempty"`
 	QueueWaitSeconds    float64 `json:"queue_wait_seconds"`
 	QueuePosition       int     `json:"queue_position,omitempty"`
 	CostSeconds         float64 `json:"cost_seconds,omitempty"`
@@ -122,6 +128,20 @@ type JobResult struct {
 	// compute (CostSeconds 0).
 	Cached      bool    `json:"cached,omitempty"`
 	CostSeconds float64 `json:"cost_seconds,omitempty"`
+}
+
+// MutationResult is the JSON document of POST /graph/mutations: the new
+// epoch, what the batch did, how little of the partition had to move, and
+// every standing job's delta for the epoch (the same documents their
+// /deltas streams carry).
+type MutationResult struct {
+	Epoch          int64               `json:"epoch"`
+	Stats          dyngraph.ApplyStats `json:"stats"`
+	DirtyBlocks    int                 `json:"dirty_blocks"`
+	MovedBlocks    int                 `json:"moved_blocks"`
+	RebuiltWorkers []int               `json:"rebuilt_workers"`
+	ApplySeconds   float64             `json:"apply_seconds"`
+	Standing       []DeltaDoc          `json:"standing,omitempty"`
 }
 
 type errorBody struct {

@@ -3,11 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gminer/internal/cluster"
+	"gminer/internal/core"
 	"gminer/internal/jobspec"
 	"gminer/internal/qos"
 	"gminer/internal/trace"
@@ -31,6 +33,10 @@ const (
 	// cheapest-to-recompute first — to absorb queue pressure, or whose
 	// deadline expired before a slot freed.
 	StateShed = "shed"
+	// StateStanding marks a standing query whose baseline finished: the
+	// job is parked holding its match set and emits a delta every graph
+	// epoch until cancelled. Not terminal — DELETE ends it.
+	StateStanding = "standing"
 )
 
 // Admission and lookup errors, mapped onto HTTP statuses by the handlers.
@@ -39,6 +45,13 @@ var (
 	ErrDraining    = errors.New("server: draining, not accepting jobs") // 503
 	ErrDuplicateID = errors.New("server: job id already in use")        // 409
 	ErrUnknownJob  = errors.New("server: no such job")                  // 404
+	// ErrEpochMismatch rejects a spec pinned to a graph epoch the resident
+	// graph has moved past (optimistic concurrency for read-your-graph
+	// clients).
+	ErrEpochMismatch = errors.New("server: graph epoch moved past the spec's pin") // 409
+	// ErrNotDynamic rejects standing queries (and mutations) on a daemon
+	// whose session was not started with -dynamic.
+	ErrNotDynamic = errors.New("server: resident graph is not dynamic") // 501
 )
 
 // Config tunes the admission controller, QoS layer and job retention.
@@ -118,6 +131,20 @@ type job struct {
 	queueWait   time.Duration
 	costSeconds float64
 	cached      bool
+
+	// Standing-query state (guarded by registry.mu). epoch is the graph
+	// epoch the job computed against (stamped at dispatch; rolls forward
+	// with every delta round for standing jobs). matchSet is the sorted
+	// accumulated record set, aggregate the latest aggregate value, deltas
+	// the full per-epoch history the /deltas stream replays, and notify is
+	// closed-and-replaced whenever deltas grows or the state changes so
+	// streamers wake without polling.
+	epoch     int64
+	baseEpoch int64
+	matchSet  []string
+	aggregate any
+	deltas    []DeltaDoc
+	notify    chan struct{}
 }
 
 // tenantWait accumulates one tenant's queue-wait observations for the
@@ -148,6 +175,9 @@ type registry struct {
 	running  int
 	seq      uint64
 	draining bool
+
+	// standingRoundsRun counts delta rounds completed, for /metrics.
+	standingRoundsRun int64
 }
 
 func newRegistry(sess Cluster, cfg Config) *registry {
@@ -170,15 +200,35 @@ func newRegistry(sess Cluster, cfg Config) *registry {
 	return r
 }
 
-// cacheKey is the identity of req's workload on the resident graph.
+// cacheKey is the identity of req's workload on the resident graph AT ITS
+// CURRENT EPOCH. The fingerprint was frozen at registry construction (it
+// identifies the graph as loaded); the live epoch rides in its own field,
+// so every mutation batch implicitly retires all previously cached
+// results without a scan.
 func (r *registry) cacheKey(req JobRequest) qos.CacheKey {
-	return qos.CacheKey{Fingerprint: r.fp, Spec: req.Spec.CacheKey()}
+	return r.cacheKeyAt(req, r.sess.GraphEpoch())
+}
+
+// cacheKeyAt pins the key to a specific epoch. The reaper uses the epoch
+// the job actually computed against — a mutation can land between the
+// job's last round and the reaper folding its result in, and the result
+// must not be filed under the newer epoch.
+func (r *registry) cacheKeyAt(req JobRequest, epoch int64) qos.CacheKey {
+	return qos.CacheKey{Fingerprint: r.fp, Epoch: epoch, Spec: req.Spec.CacheKey()}
 }
 
 // invalidateCache drops every cached result. Must be called whenever the
-// resident graph is replaced (the fingerprint in the key already isolates
-// graphs, but invalidating releases the dead entries' memory at once).
+// resident graph is replaced or mutated (the fingerprint+epoch in the key
+// already isolates graphs and epochs, but invalidating releases the dead
+// entries' memory at once).
 func (r *registry) invalidateCache() { r.cache.Invalidate() }
+
+// dynamic reports whether the backing session accepts mutation batches.
+// Only the in-process cluster.Session started with Config.Dynamic does.
+func (r *registry) dynamic() bool {
+	d, ok := r.sess.(interface{ Dynamic() bool })
+	return ok && d.Dynamic()
+}
 
 // submit admits one job request: validates the spec against the resident
 // graph, serves it from the result cache when possible, otherwise
@@ -187,9 +237,20 @@ func (r *registry) invalidateCache() { r.cache.Invalidate() }
 func (r *registry) submit(req JobRequest) (*job, error) {
 	// Validate buildability up front so a spec the resident graph cannot
 	// serve (e.g. gm on an unlabeled graph) fails the submit with 400
-	// instead of a queued job that dies later.
-	if _, err := jobspec.Build(r.sess.Graph(), req.Spec); err != nil {
-		return nil, err
+	// instead of a queued job that dies later. Under the graph-read guard:
+	// a mutation batch may be rewriting adjacency right now.
+	var buildErr error
+	r.sess.WithGraphRead(func() { _, buildErr = jobspec.Build(r.sess.Graph(), req.Spec) })
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if req.Spec.Standing && !r.dynamic() {
+		return nil, fmt.Errorf("%w: standing queries need a -dynamic daemon", ErrNotDynamic)
+	}
+	if req.Spec.Epoch > 0 {
+		if cur := r.sess.GraphEpoch(); req.Spec.Epoch != cur {
+			return nil, fmt.Errorf("%w: pinned %d, resident %d", ErrEpochMismatch, req.Spec.Epoch, cur)
+		}
 	}
 
 	r.mu.Lock()
@@ -227,14 +288,19 @@ func (r *registry) submit(req JobRequest) (*job, error) {
 	}
 
 	// Result cache: an identical workload already computed on this graph
-	// is served instantly — the job is born done and consumes no slot.
-	if res, ok := r.cache.Get(r.cacheKey(req)); ok {
-		j.state, j.result, j.cached = StateDone, res, true
-		j.started, j.finished = now, now
-		r.jobs[id] = j
-		r.order = append(r.order, id)
-		r.evictLocked()
-		return j, nil
+	// AND epoch is served instantly — the job is born done and consumes no
+	// slot. Standing queries never consult the cache: their value is the
+	// subscription, not the baseline records.
+	if !req.Spec.Standing {
+		if res, ok := r.cache.Get(r.cacheKey(req)); ok {
+			j.state, j.result, j.cached = StateDone, res, true
+			j.started, j.finished = now, now
+			j.epoch = r.sess.GraphEpoch()
+			r.jobs[id] = j
+			r.order = append(r.order, id)
+			r.evictLocked()
+			return j, nil
+		}
 	}
 
 	// Admission control with load shedding. When the queue is full, the
@@ -312,7 +378,9 @@ func (r *registry) pumpLocked() {
 			r.finishQueuedLocked(j, StateShed, qos.ErrDeadline)
 			continue
 		}
-		a, err := jobspec.Build(r.sess.Graph(), j.req.Spec)
+		var a core.Algorithm
+		var err error
+		r.sess.WithGraphRead(func() { a, err = jobspec.Build(r.sess.Graph(), j.req.Spec) })
 		if err != nil {
 			j.state, j.err, j.finished = StateFailed, err, time.Now()
 			r.recordWaitLocked(j)
@@ -343,6 +411,7 @@ func (r *registry) pumpLocked() {
 		}
 		r.recordWaitLocked(j)
 		j.state, j.started, j.tracer, j.cj = StateRunning, time.Now(), tracer, cj
+		j.epoch = r.sess.GraphEpoch()
 		j.cjAtomic.Store(cj)
 		r.running++
 		go r.reap(j, cj)
@@ -397,10 +466,23 @@ func (r *registry) reap(j *job, cj *cluster.Job) {
 	defer r.mu.Unlock()
 	j.result, j.err, j.finished, j.costSeconds = res, err, time.Now(), cost
 	switch {
+	case err == nil && j.req.Spec.Standing:
+		// Baseline done: park the job standing with its epoch-stamped match
+		// set. From here each mutation batch appends one DeltaDoc. Never
+		// cached — two standing jobs must each hold a live subscription.
+		j.state = StateStanding
+		j.finished = time.Time{}
+		j.baseEpoch = j.epoch
+		if res != nil {
+			j.matchSet = append([]string(nil), res.Records...)
+			sort.Strings(j.matchSet)
+			j.aggregate = res.AggGlobal
+		}
+		j.bumpDeltas()
 	case err == nil:
 		j.state = StateDone
 		if res != nil {
-			r.cache.Put(r.cacheKey(j.req), res)
+			r.cache.Put(r.cacheKeyAt(j.req, j.epoch), res)
 		}
 	case errors.Is(err, qos.ErrOverBudget) || errors.Is(err, qos.ErrDeadline):
 		j.state = StatePreempted
@@ -413,6 +495,7 @@ func (r *registry) reap(j *job, cj *cluster.Job) {
 	// real spend, and pricing an app by what its jobs actually burned —
 	// even truncated ones — keeps admission estimates honest.
 	r.meter.ObserveJob(j.req.Spec.App, j.tenant, cost, resPhases(res))
+	j.bumpDeltas() // wake any deltas stream waiting out the baseline
 	r.running--
 	r.pumpLocked()
 	r.cond.Broadcast()
@@ -446,6 +529,13 @@ func (r *registry) cancel(id string) (*job, error) {
 		r.cond.Broadcast()
 	case StateRunning:
 		cj = j.cj
+	case StateStanding:
+		// Ending a standing query is a plain state flip — there is no
+		// cluster job to stop between rounds. Streamers wake and see the
+		// terminal state.
+		j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
+		j.bumpDeltas()
+		r.cond.Broadcast()
 	}
 	r.mu.Unlock()
 	if cj != nil {
@@ -499,9 +589,9 @@ func isTerminal(state string) bool {
 // terminalStates lists every terminal state in exposition order.
 var terminalStates = []string{StateDone, StateFailed, StateCancelled, StatePreempted, StateShed}
 
-// counts returns (queued, running, per-terminal-state totals) for /metrics
-// and /healthz.
-func (r *registry) counts() (queued, running int, terminal map[string]int) {
+// counts returns (queued, running, standing, per-terminal-state totals)
+// for /metrics and /healthz.
+func (r *registry) counts() (queued, running, standing int, terminal map[string]int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	terminal = make(map[string]int, len(terminalStates))
@@ -514,11 +604,13 @@ func (r *registry) counts() (queued, running int, terminal map[string]int) {
 			queued++
 		case j.state == StateRunning:
 			running++
+		case j.state == StateStanding:
+			standing++
 		default:
 			terminal[j.state]++
 		}
 	}
-	return queued, running, terminal
+	return queued, running, standing, terminal
 }
 
 // tenantStats snapshots the per-tenant QoS view (queue depth, wait
@@ -567,6 +659,15 @@ func (r *registry) drain(timeout time.Duration) {
 		if j := r.jobs[e.ID]; j != nil && j.state == StateQueued {
 			j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
 			r.recordWaitLocked(j)
+		}
+	}
+	// Standing queries end with the daemon: flip them terminal so their
+	// delta streams close instead of hanging on a session that is about to
+	// tear down.
+	for _, j := range r.jobs {
+		if j.state == StateStanding {
+			j.state, j.err, j.finished = StateCancelled, cluster.ErrCancelled, time.Now()
+			j.bumpDeltas()
 		}
 	}
 	r.mu.Unlock()

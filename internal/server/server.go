@@ -16,10 +16,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"gminer/internal/cluster"
 	"gminer/internal/core"
+	"gminer/internal/dyngraph"
 	"gminer/internal/graph"
 	"gminer/internal/metrics"
 	"gminer/internal/monitor"
@@ -38,7 +40,23 @@ type Cluster interface {
 	Fingerprint() uint64
 	ActiveJobs() int
 	DroppedMessages() int64
+	// GraphEpoch is the resident graph's mutation epoch (0 on a static or
+	// remote session, monotonic on a dynamic one).
+	GraphEpoch() int64
+	// WithGraphRead runs fn while the resident graph is guaranteed not to
+	// mutate. On static sessions it is a plain call.
+	WithGraphRead(fn func())
 	Close()
+}
+
+// MutableCluster is the optional dynamic-graph extension of Cluster: only
+// the in-process cluster.Session started with Config.Dynamic implements a
+// true ApplyMutations (remote sessions reject Config.Dynamic at build
+// time, so POST /graph/mutations answers 501 there).
+type MutableCluster interface {
+	Cluster
+	Dynamic() bool
+	ApplyMutations(b dyngraph.Batch) (*cluster.EpochResult, error)
 }
 
 // WorkerHealthReporter is the optional multi-process extension of
@@ -56,6 +74,12 @@ type Server struct {
 	reg   *registry
 	cfg   Config
 	start time.Time
+
+	// mutMu serializes mutation batches end to end: pre-reads on the old
+	// graph, the epoch apply, cache invalidation and every standing job's
+	// delta round happen as one unit, so the state visible when POST
+	// /graph/mutations returns is deterministic.
+	mutMu sync.Mutex
 
 	srv *http.Server
 	ln  net.Listener
@@ -81,6 +105,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /graph/mutations", s.handleMutate)
+	mux.HandleFunc("GET /jobs/{id}/deltas", s.handleDeltas)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -157,8 +183,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
-	case errors.Is(err, ErrDuplicateID):
+	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrEpochMismatch):
 		writeErr(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrNotDynamic):
+		writeErr(w, http.StatusNotImplemented, err)
 		return
 	default:
 		writeErr(w, http.StatusBadRequest, err)
@@ -206,6 +235,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSONCode(w, http.StatusAccepted, s.statusOf(j))
 		return
 	case StateDone:
+	case StateStanding:
+		// A standing job's result is its CURRENT accumulated match set —
+		// the registry rolls j.result forward with every delta round.
 	default: // failed, cancelled, preempted, shed
 		writeErr(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s: %v", id, state, jerr))
@@ -252,17 +284,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	queued, running, _ := s.reg.counts()
+	queued, running, standing, _ := s.reg.counts()
 	s.reg.mu.Lock()
 	draining := s.reg.draining
 	s.reg.mu.Unlock()
 	status, code := "ok", http.StatusOK
+	var vertices int
+	s.sess.WithGraphRead(func() { vertices = s.sess.Graph().NumVertices() })
 	doc := map[string]any{
-		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
-		"graph":    map[string]int{"vertices": s.sess.Graph().NumVertices()},
-		"queued":   queued,
-		"running":  running,
-		"sessions": 1,
+		"uptime":      time.Since(s.start).Round(time.Millisecond).String(),
+		"graph":       map[string]int{"vertices": vertices},
+		"graph_epoch": s.sess.GraphEpoch(),
+		"dynamic":     s.reg.dynamic(),
+		"queued":      queued,
+		"running":     running,
+		"standing":    standing,
+		"sessions":    1,
 	}
 	if hr, ok := s.sess.(WorkerHealthReporter); ok {
 		// Multi-process mode: the daemon is degraded (still 503, like
@@ -402,7 +439,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	queued, running, terminal := s.reg.counts()
+	// Dynamic-graph families: the resident epoch, live standing queries
+	// and completed delta rounds.
+	fmt.Fprintf(w, "# HELP gminer_graph_epoch Mutation epoch of the resident graph (0 = as loaded).\n# TYPE gminer_graph_epoch gauge\ngminer_graph_epoch %d\n", s.sess.GraphEpoch())
+	s.reg.mu.Lock()
+	roundsRun := s.reg.standingRoundsRun
+	s.reg.mu.Unlock()
+	fmt.Fprintf(w, "# HELP gminer_standing_rounds_total Per-epoch delta rounds completed across all standing jobs.\n# TYPE gminer_standing_rounds_total counter\ngminer_standing_rounds_total %d\n", roundsRun)
+
+	queued, running, standing, terminal := s.reg.counts()
+	fmt.Fprintf(w, "# HELP gminer_jobs_standing Standing queries live on the resident graph.\n# TYPE gminer_jobs_standing gauge\ngminer_jobs_standing %d\n", standing)
 	fmt.Fprintf(w, "# HELP gminer_jobs_active Jobs currently mining on the warm cluster.\n# TYPE gminer_jobs_active gauge\ngminer_jobs_active %d\n", running)
 	fmt.Fprintf(w, "# HELP gminer_jobs_queued_total Jobs waiting in the admission queue across all tenants.\n# TYPE gminer_jobs_queued_total gauge\ngminer_jobs_queued_total %d\n", queued)
 	fmt.Fprintf(w, "# HELP gminer_jobs_finished_total Retained jobs by terminal state.\n# TYPE gminer_jobs_finished_total counter\n")
@@ -437,6 +483,8 @@ func (s *Server) statusOf(j *job) JobStatus {
 		Cached:              j.cached,
 		CostSeconds:         j.costSeconds,
 		CostEstimateSeconds: j.estimate,
+		GraphEpoch:          j.epoch,
+		DeltaRounds:         len(j.deltas),
 	}
 	if j.state == StateQueued {
 		// Live view: the wait grows until dispatch, and the position is

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gminer/internal/cluster"
+	"gminer/internal/dyngraph"
+	"gminer/internal/graph"
+	"gminer/internal/jobspec"
+)
+
+// Standing mining queries (§13). A job submitted with "standing": true
+// runs its baseline through the normal admission path, then — instead of
+// going terminal — parks in the "standing" state holding its match set.
+// Every mutation batch afterwards triggers one delta round per standing
+// job, run synchronously inside POST /graph/mutations (under the server's
+// mutation mutex), so by the time the mutation response is written every
+// standing job's match set reflects the new epoch. A delta round produces
+// the per-epoch added/retracted record sets a `gminer watch` client folds
+// into its snapshot.
+//
+// The default round is deliberately conservative: recompute the workload
+// on the warm session (the session already migrated only dirty blocks, so
+// the prepare cost is paid) and merge-diff the sorted record sets. That is
+// always sound — it satisfies the differential gate by construction for
+// any algorithm. Triangle counting additionally gets a true dirty-rooted
+// incremental round: the new aggregate is derived from the previous one
+// plus the triangles touching the batch's dirty vertices before/after,
+// with no cluster launch at all.
+
+// DeltaDoc is one epoch's output for one standing job: the records that
+// appeared, the records that vanished, and the aggregate movement. It is
+// both an element of the GET /jobs/{id}/deltas NDJSON stream and part of
+// the POST /graph/mutations response.
+type DeltaDoc struct {
+	Type  string `json:"type"` // "delta" on the wire
+	JobID string `json:"job_id"`
+	Epoch int64  `json:"epoch"`
+	// Added and Retracted are sorted record sets; a client holding the
+	// previous epoch's match set reconstructs the new one exactly.
+	Added     []string `json:"added"`
+	Retracted []string `json:"retracted"`
+	// Matches is the match-set size after this epoch.
+	Matches int `json:"matches"`
+	// Aggregate / PrevAggregate carry aggregate movement for
+	// aggregate-producing workloads (tc), formatted like JobResult's.
+	Aggregate     string `json:"aggregate,omitempty"`
+	PrevAggregate string `json:"prev_aggregate,omitempty"`
+	// Incremental marks a round served by the dirty-rooted path instead of
+	// a full recomputation.
+	Incremental    bool    `json:"incremental,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// snapshotDoc heads the deltas stream: the full match set at the epoch
+// the subscriber attached, so reconstruction needs no other endpoint.
+type snapshotDoc struct {
+	Type      string   `json:"type"` // "snapshot"
+	JobID     string   `json:"job_id"`
+	Epoch     int64    `json:"epoch"`
+	Records   []string `json:"records"`
+	Aggregate string   `json:"aggregate,omitempty"`
+}
+
+// standingPre holds per-job values that must be read off the OLD graph,
+// before the batch lands. Today that is the triangles touching the dirty
+// set, feeding tc's incremental identity
+//
+//	count' = count − touching(G, dirty) + touching(G', dirty)
+//
+// which is exact because every changed edge has an endpoint in dirty.
+type standingPre struct {
+	triTouching map[string]int64 // standing tc job id → touching(G, dirty)
+}
+
+// standingIDs snapshots the ids of jobs currently parked standing.
+func (r *registry) standingIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []string
+	for _, id := range r.order {
+		if j := r.jobs[id]; j != nil && j.state == StateStanding {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// standingPrepare reads the pre-mutation values every standing job's
+// round needs. Called by the mutation handler with the batch decoded but
+// NOT yet applied; WithGraphRead excludes it from racing a mutation.
+func (r *registry) standingPrepare(dirty []graph.VertexID) standingPre {
+	pre := standingPre{triTouching: make(map[string]int64)}
+	for _, id := range r.standingIDs() {
+		r.mu.Lock()
+		j := r.jobs[id]
+		isTC := j != nil && j.state == StateStanding && j.req.Spec.App == "tc"
+		r.mu.Unlock()
+		if !isTC {
+			continue
+		}
+		var touching int64
+		r.sess.WithGraphRead(func() {
+			touching = dyngraph.TrianglesTouching(r.sess.Graph(), dirty)
+		})
+		pre.triTouching[id] = touching
+	}
+	return pre
+}
+
+// runStandingRounds runs one delta round for every standing job at the
+// freshly applied epoch. The caller holds the server's mutation mutex, so
+// rounds are serialized against other mutations; each round's compute is
+// metered like any job so standing queries pay their way in the QoS
+// ledger.
+func (r *registry) runStandingRounds(epoch int64, dirty []graph.VertexID, pre standingPre) []DeltaDoc {
+	var docs []DeltaDoc
+	for _, id := range r.standingIDs() {
+		doc, err := r.standingRound(id, epoch, dirty, pre)
+		if err != nil {
+			// A round that cannot compute (e.g. the mutation stripped the
+			// labels the spec needs) fails the standing job rather than
+			// silently gapping its stream.
+			r.mu.Lock()
+			if j := r.jobs[id]; j != nil && j.state == StateStanding {
+				j.state, j.err, j.finished = StateFailed, err, time.Now()
+				j.bumpDeltas()
+				r.cond.Broadcast()
+			}
+			r.mu.Unlock()
+			continue
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+// standingRound computes one job's delta at one epoch.
+func (r *registry) standingRound(id string, epoch int64, dirty []graph.VertexID, pre standingPre) (DeltaDoc, error) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil || j.state != StateStanding {
+		r.mu.Unlock()
+		return DeltaDoc{}, fmt.Errorf("server: job %s no longer standing", id)
+	}
+	spec := j.req.Spec
+	prevSet := j.matchSet
+	prevAgg := j.aggregate
+	tenant := j.tenant
+	r.mu.Unlock()
+
+	started := time.Now()
+	doc := DeltaDoc{Type: "delta", JobID: id, Epoch: epoch, Added: []string{}, Retracted: []string{}}
+
+	var newSet []string
+	var newAgg any
+	if touch, ok := pre.triTouching[id]; ok {
+		// Incremental tc: no cluster launch. Count triangles touching the
+		// dirty set on the new graph and roll the previous aggregate
+		// forward. tc emits no records, so the match set stays empty.
+		prev, isInt := prevAgg.(int64)
+		if !isInt {
+			return DeltaDoc{}, fmt.Errorf("server: standing tc job %s has no integer aggregate", id)
+		}
+		var post int64
+		r.sess.WithGraphRead(func() {
+			post = dyngraph.TrianglesTouching(r.sess.Graph(), dirty)
+		})
+		newAgg = prev - touch + post
+		doc.Incremental = true
+	} else {
+		a, err := jobspec.Build(r.sess.Graph(), spec)
+		if err != nil {
+			return DeltaDoc{}, err
+		}
+		cj, err := r.sess.Launch(a, cluster.JobOptions{ID: fmt.Sprintf("%s.e%d", id, epoch)})
+		if err != nil {
+			return DeltaDoc{}, err
+		}
+		res, err := cj.Wait()
+		if err != nil {
+			return DeltaDoc{}, err
+		}
+		newSet = append([]string(nil), res.Records...)
+		sort.Strings(newSet)
+		newAgg = res.AggGlobal
+		var cost float64
+		for _, snap := range res.PerWorker {
+			cost += snap.CostSeconds()
+		}
+		r.meter.ObserveJob(spec.App, tenant, cost, resPhases(res))
+	}
+
+	doc.Added, doc.Retracted = diffSorted(prevSet, newSet)
+	doc.Matches = len(newSet)
+	doc.ElapsedSeconds = time.Since(started).Seconds()
+	if newAgg != nil {
+		doc.Aggregate = fmt.Sprintf("%v", newAgg)
+	}
+	if prevAgg != nil {
+		doc.PrevAggregate = fmt.Sprintf("%v", prevAgg)
+	}
+
+	r.mu.Lock()
+	if j.state == StateStanding {
+		j.matchSet = newSet
+		j.aggregate = newAgg
+		j.baseEpoch = epoch
+		j.epoch = epoch
+		j.deltas = append(j.deltas, doc)
+		if j.result != nil {
+			// Keep GET /jobs/{id}/result serving the CURRENT accumulated
+			// match set, not the baseline's.
+			res := *j.result
+			res.Records = newSet
+			res.AggGlobal = newAgg
+			j.result = &res
+		}
+		j.bumpDeltas()
+		r.standingRoundsRun++
+	}
+	r.mu.Unlock()
+	return doc, nil
+}
+
+// diffSorted merge-diffs two sorted string sets into (added, retracted).
+// Both outputs are non-nil so they serialize as [] rather than null.
+func diffSorted(prev, next []string) (added, retracted []string) {
+	added, retracted = []string{}, []string{}
+	i, k := 0, 0
+	for i < len(prev) && k < len(next) {
+		switch {
+		case prev[i] == next[k]:
+			i++
+			k++
+		case prev[i] < next[k]:
+			retracted = append(retracted, prev[i])
+			i++
+		default:
+			added = append(added, next[k])
+			k++
+		}
+	}
+	retracted = append(retracted, prev[i:]...)
+	added = append(added, next[k:]...)
+	return added, retracted
+}
+
+// bumpDeltas wakes every deltas-stream subscriber. Callers hold r.mu.
+func (j *job) bumpDeltas() {
+	if j.notify != nil {
+		close(j.notify)
+	}
+	j.notify = make(chan struct{})
+}
